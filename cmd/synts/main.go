@@ -1,0 +1,327 @@
+// Command synts regenerates every table and figure of the thesis'
+// evaluation from the simulation substrates in this repository.
+//
+// Usage:
+//
+//	synts [flags] <experiment> [experiment ...]
+//	synts [flags] all
+//
+// Experiments: table5.1, fig1.2, fig1.4, fig3.5, fig3.6, fig4.7, fig5.10,
+// fig6.11, fig6.12, fig6.13, fig6.14, fig6.15, fig6.16, fig6.17, fig6.18,
+// overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"synts/internal/exp"
+	"synts/internal/report"
+	"synts/internal/trace"
+	"synts/internal/workload"
+)
+
+var (
+	size    = flag.Int("size", 2, "workload size knob (larger = longer traces)")
+	seed    = flag.Int64("seed", 2016, "workload data seed")
+	threads = flag.Int("threads", 4, "cores/threads (the thesis models 4)")
+	maxIv   = flag.Int("intervals", 3, "barrier intervals analysed per benchmark")
+	verbose = flag.Bool("v", false, "print progress to stderr")
+)
+
+func main() {
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: synts [flags] <experiment>...\n\nexperiments:\n")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
+		}
+		fmt.Fprintf(os.Stderr, "  %-10s run everything\n\nflags:\n", "all")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := exp.DefaultOptions()
+	opts.Size = *size
+	opts.Seed = *seed
+	opts.Threads = *threads
+	opts.MaxIntervals = *maxIv
+
+	names := flag.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = names[:0]
+		for _, e := range experiments {
+			names = append(names, e.name)
+		}
+	}
+	runner := &runner{opts: opts, benches: map[string]*exp.Bench{}}
+	for _, name := range names {
+		e := lookup(name)
+		if e == nil {
+			fmt.Fprintf(os.Stderr, "synts: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		start := time.Now()
+		if err := e.run(runner); err != nil {
+			fmt.Fprintf(os.Stderr, "synts: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
+		}
+		fmt.Println()
+	}
+}
+
+type runner struct {
+	opts    exp.Options
+	benches map[string]*exp.Bench
+}
+
+func (r *runner) bench(name string) (*exp.Bench, error) {
+	if b, ok := r.benches[name]; ok {
+		return b, nil
+	}
+	b, err := exp.LoadBench(name, r.opts)
+	if err != nil {
+		return nil, err
+	}
+	r.benches[name] = b
+	return b, nil
+}
+
+type experiment struct {
+	name string
+	desc string
+	run  func(*runner) error
+}
+
+func lookup(name string) *experiment {
+	for i := range experiments {
+		if experiments[i].name == name {
+			return &experiments[i]
+		}
+	}
+	return nil
+}
+
+// pareto runs one of the Figs 6.11-6.16.
+func pareto(r *runner, figure, bench string, stage trace.Stage) error {
+	b, err := r.bench(bench)
+	if err != nil {
+		return err
+	}
+	pr, err := exp.Pareto(b, stage)
+	if err != nil {
+		return err
+	}
+	s := pr.Series()
+	s.Title = fmt.Sprintf("Fig %s: %s", figure, s.Title)
+	s.Render(os.Stdout)
+	if adv, budget, ok := pr.EnergyAdvantageVsPerCore(); ok {
+		fmt.Printf("  at matched time budget %.3f: SynTS energy %.1f%% below Per-core TS\n",
+			budget, adv*100)
+	} else {
+		fmt.Println("  curves do not converge within the nominal budget (cf. the thesis' ComplexALU remark)")
+	}
+	return nil
+}
+
+var experiments = []experiment{
+	{"table5.1", "voltage vs nominal clock period (paper table + ring-oscillator model)", func(r *runner) error {
+		exp.Table51().Render(os.Stdout)
+		return nil
+	}},
+	{"fig1.2", "timing speculation vs error probability trade-off (radix T0)", func(r *runner) error {
+		b, err := r.bench("radix")
+		if err != nil {
+			return err
+		}
+		s, err := exp.Fig12(b)
+		if err != nil {
+			return err
+		}
+		s.Render(os.Stdout)
+		return nil
+	}},
+	{"fig1.3", "multi-threaded execution snapshot: busy/wait timelines, nominal vs SynTS (fmm)", func(r *runner) error {
+		b, err := r.bench("fmm")
+		if err != nil {
+			return err
+		}
+		lines, _, _, err := exp.Fig13(b, trace.SimpleALU, 100)
+		if err != nil {
+			return err
+		}
+		for _, l := range lines {
+			fmt.Println(l)
+		}
+		return nil
+	}},
+	{"fig1.4", "threads arriving at barriers at different times (fmm)", func(r *runner) error {
+		b, err := r.bench("fmm")
+		if err != nil {
+			return err
+		}
+		s, err := exp.Fig14(b)
+		if err != nil {
+			return err
+		}
+		s.Render(os.Stdout)
+		return nil
+	}},
+	{"fig3.5", "per-thread error probability vs clock period (radix, SimpleALU)", func(r *runner) error {
+		b, err := r.bench("radix")
+		if err != nil {
+			return err
+		}
+		s, err := exp.Fig35(b, trace.SimpleALU, 0)
+		if err != nil {
+			return err
+		}
+		s.Render(os.Stdout)
+		return nil
+	}},
+	{"fig3.6", "motivational example: frequency up-scaling then voltage down-scaling", func(r *runner) error {
+		b, err := r.bench("radix")
+		if err != nil {
+			return err
+		}
+		t, err := exp.Fig36(b, trace.SimpleALU, 0)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		return nil
+	}},
+	{"fig4.7", "online sampling-phase schedule", func(r *runner) error {
+		exp.Fig47(r.opts, 50000).Render(os.Stdout)
+		return nil
+	}},
+	{"fig5.10", "GPGPU VALU Hamming-distance homogeneity study", func(r *runner) error {
+		for _, prog := range []string{"BlackScholes", "MatrixMult", "BinarySearch", "FFT", "EigenValue", "StreamCluster"} {
+			t, h, err := exp.Fig510(prog, 16000/6, r.opts.Seed)
+			if err != nil {
+				return err
+			}
+			t.Render(os.Stdout)
+			fmt.Printf("  homogeneity: max pairwise histogram distance %.3f, err spread %.4f\n\n",
+				h.MaxPairDistance, h.ErrSpread)
+		}
+		return nil
+	}},
+	{"fig6.11", "Pareto: FMM, SimpleALU", func(r *runner) error { return pareto(r, "6.11", "fmm", trace.SimpleALU) }},
+	{"fig6.12", "Pareto: Cholesky, SimpleALU", func(r *runner) error { return pareto(r, "6.12", "cholesky", trace.SimpleALU) }},
+	{"fig6.13", "Pareto: Cholesky, Decode", func(r *runner) error { return pareto(r, "6.13", "cholesky", trace.Decode) }},
+	{"fig6.14", "Pareto: Raytrace, Decode", func(r *runner) error { return pareto(r, "6.14", "raytrace", trace.Decode) }},
+	{"fig6.15", "Pareto: Cholesky, ComplexALU", func(r *runner) error { return pareto(r, "6.15", "cholesky", trace.ComplexALU) }},
+	{"fig6.16", "Pareto: Raytrace, ComplexALU", func(r *runner) error { return pareto(r, "6.16", "raytrace", trace.ComplexALU) }},
+	{"fig6.17", "actual vs online-estimated error probabilities (radix, fmm)", func(r *runner) error {
+		for _, bench := range []string{"radix", "fmm"} {
+			b, err := r.bench(bench)
+			if err != nil {
+				return err
+			}
+			s, err := exp.Fig617(b, trace.SimpleALU, 0)
+			if err != nil {
+				return err
+			}
+			s.Render(os.Stdout)
+			fmt.Println()
+		}
+		return nil
+	}},
+	{"fig6.18", "normalized EDP, 7 benchmarks x 3 stages", func(r *runner) error {
+		var benches []*exp.Bench
+		for _, name := range workload.PaperSuite() {
+			b, err := r.bench(name)
+			if err != nil {
+				return err
+			}
+			benches = append(benches, b)
+		}
+		for _, st := range trace.Stages() {
+			rows, err := exp.Fig618(benches, st)
+			if err != nil {
+				return err
+			}
+			exp.Fig618Bars(rows, st).Render(os.Stdout)
+			// Headline: best EDP improvement of online SynTS vs per-core TS.
+			best, bench := 0.0, ""
+			for _, row := range rows {
+				if imp := 1 - row.SynTSOnline/row.PerCoreTS; imp > best {
+					best, bench = imp, row.Bench
+				}
+			}
+			fmt.Printf("  %s: online SynTS EDP up to %.1f%% below Per-core TS (%s)\n\n",
+				st, best*100, bench)
+		}
+		return nil
+	}},
+	{"overhead", "SynTS-online area/power overhead accounting (§6.3)", func(r *runner) error {
+		t, _, err := exp.OverheadReport()
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		return nil
+	}},
+	{"ablation", "design-choice ablations: adder architecture, delay model, sampling granule, process variation", func(r *runner) error {
+		b, err := r.bench("radix")
+		if err != nil {
+			return err
+		}
+		render := func(t *report.Table, err error) error {
+			if err != nil {
+				return err
+			}
+			t.Render(os.Stdout)
+			fmt.Println()
+			return nil
+		}
+		if err := render(exp.AdderAblation(b)); err != nil {
+			return err
+		}
+		if err := render(exp.DelayModelAblation(b, 1500)); err != nil {
+			return err
+		}
+		if err := render(exp.GranuleAblation(b, trace.SimpleALU, 0)); err != nil {
+			return err
+		}
+		if err := render(exp.VariationAblation(b)); err != nil {
+			return err
+		}
+		return render(exp.RecoveryAblation(b, trace.SimpleALU))
+	}},
+	{"joint", "exact multi-stage (any-stage-flags) error composition vs independence", func(r *runner) error {
+		b, err := r.bench("radix")
+		if err != nil {
+			return err
+		}
+		t, err := exp.JointStageStudy(b, 0, 0)
+		if err != nil {
+			return err
+		}
+		t.Render(os.Stdout)
+		return nil
+	}},
+	{"prediction", "online SynTS with predicted (instead of oracle) per-thread instruction counts", func(r *runner) error {
+		for _, bench := range []string{"radix", "fmm"} {
+			b, err := r.bench(bench)
+			if err != nil {
+				return err
+			}
+			t, err := exp.PredictionStudy(b, trace.SimpleALU)
+			if err != nil {
+				return err
+			}
+			t.Render(os.Stdout)
+			fmt.Println()
+		}
+		return nil
+	}},
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"testing"
+
+	"synts/internal/exp"
+)
+
+func TestExperimentRegistry(t *testing.T) {
+	want := []string{
+		"table5.1", "fig1.2", "fig1.3", "fig1.4", "fig3.5", "fig3.6", "fig4.7",
+		"fig5.10", "fig6.11", "fig6.12", "fig6.13", "fig6.14", "fig6.15",
+		"fig6.16", "fig6.17", "fig6.18", "overhead", "ablation", "joint", "prediction",
+	}
+	if len(experiments) != len(want) {
+		t.Fatalf("registry has %d experiments, want %d", len(experiments), len(want))
+	}
+	for _, name := range want {
+		e := lookup(name)
+		if e == nil {
+			t.Errorf("lookup(%q) = nil", name)
+			continue
+		}
+		if e.desc == "" {
+			t.Errorf("%s: empty description", name)
+		}
+		if e.run == nil {
+			t.Errorf("%s: nil runner", name)
+		}
+	}
+	if lookup("bogus") != nil {
+		t.Error("lookup(bogus) must be nil")
+	}
+}
+
+func TestRunnerCachesBenches(t *testing.T) {
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	r := &runner{opts: opts, benches: map[string]*exp.Bench{}}
+	a, err := r.bench("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := r.bench("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("runner must cache benchmarks across experiments")
+	}
+	if _, err := r.bench("nope"); err == nil {
+		t.Error("unknown benchmark must error")
+	}
+}
+
+// Fast experiments run end to end through the CLI plumbing (stdout output
+// is the artefact; here we only assert success).
+func TestFastExperimentsRun(t *testing.T) {
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	r := &runner{opts: opts, benches: map[string]*exp.Bench{}}
+	for _, name := range []string{"table5.1", "fig4.7", "overhead"} {
+		e := lookup(name)
+		if e == nil {
+			t.Fatalf("missing %s", name)
+		}
+		if err := e.run(r); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+// Locksync: the future-work extension of the thesis — SynTS beyond
+// barriers. A lock-based program in the Amdahl form serialises a fraction
+// phi of every thread's work through a global critical section, so the
+// program's makespan mixes a sum (the serial parts) with a max (the
+// parallel parts). core.SolveLock generalises Algorithm 1 to this
+// structure and stays provably optimal; this example sweeps phi from the
+// barrier case (0) toward full serialisation and shows how the optimal
+// per-core configurations and SynTS' advantage over per-core TS evolve.
+//
+// Run: go run ./examples/locksync
+package main
+
+import (
+	"fmt"
+
+	"synts/internal/core"
+	"synts/internal/vscale"
+)
+
+func main() {
+	table := vscale.PaperTable()
+	cfg := &core.Config{
+		Voltages: vscale.PaperVoltages(),
+		TNom:     func(v float64) float64 { return 1000 * table.TNom(v) },
+		TSRs:     []float64{0.64, 0.712, 0.784, 0.856, 0.928, 1.0},
+		CPenalty: 5,
+		Alpha:    1,
+	}
+	critical := core.Thread{N: 100000, CPIBase: 1.2, Err: core.ConstErr(0.95, 0.4)}
+	clean := core.Thread{N: 100000, CPIBase: 1.2, Err: core.ConstErr(0.70, 0.02)}
+	threads := []core.Thread{critical, clean, clean, clean}
+	theta := 0.05
+
+	fmt.Println("phi = fraction of each thread's work inside the global critical section")
+	fmt.Printf("%-5s  %-12s %-12s %-10s  %s\n", "phi", "SynTS-lock", "per-core", "advantage", "clean-thread V/r")
+	for _, phi := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
+		aLock, mLock := core.SolveLock(cfg, threads, phi, theta)
+		// Per-core TS under the same execution model.
+		aPC, _ := core.SolvePerCore(cfg, threads, theta)
+		mPC := cfg.LockMetrics(threads, aPC, phi, theta)
+		fmt.Printf("%-5.1f  %-12.4g %-12.4g %8.1f%%  V=%.2f r=%.3f\n",
+			phi, mLock.Cost, mPC.Cost, (1-mLock.Cost/mPC.Cost)*100,
+			aLock.V(cfg, 1), aLock.R(cfg, 1))
+	}
+
+	fmt.Println()
+	fmt.Println("latency-critical pipeline (makespan = sum of stages): per-core TS is")
+	fmt.Println("provably optimal — SynTS' advantage is specific to max-structured sync:")
+	aChain, mChain := core.SolveChain(cfg, threads, theta)
+	fmt.Printf("  chain cost %.4g; stage 0 at V=%.2f r=%.3f\n",
+		mChain.Cost, aChain.V(cfg, 0), aChain.R(cfg, 0))
+}

@@ -1,0 +1,3 @@
+module synts
+
+go 1.22

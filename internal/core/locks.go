@@ -1,0 +1,192 @@
+package core
+
+import "math"
+
+// This file extends SynTS beyond barrier synchronization — the direction
+// the thesis names as future work ("this approach can be extended to
+// multi-threaded applications that use other synchronization mechanisms,
+// besides barriers").
+//
+// Two archetypes are covered:
+//
+//   - Producer-consumer chains optimised for single-token latency: the
+//     makespan is the *sum* of thread times, so the cost decomposes per
+//     thread and independent per-core optimisation is provably optimal —
+//     SolveChain documents and implements this degenerate case. (For
+//     steady-state throughput the bottleneck stage dominates, which is
+//     exactly the barrier max-structure again: use SolvePoly.)
+//
+//   - Lock-based programs in the Amdahl form: a fraction phi of every
+//     thread's work executes inside a global critical section. The
+//     serial parts sum while the parallel parts overlap:
+//
+//	t_exec = sum_i phi*t_i + max_i (1-phi)*t_i                 (*)
+//
+//     SolveLock generalises SynTS-Poly to objective
+//     sum_i en_i + theta*t_exec: the serial term is per-thread separable,
+//     so nominating each thread as the critical thread of the *parallel*
+//     phase and giving every other thread its cheapest configuration under
+//     the parallel deadline — with theta*phi*t_i folded into its effective
+//     energy — retains the optimality argument of Lemma 4.2.1.
+
+// SolveChain optimises a latency-critical producer-consumer chain:
+// minimise sum_i (en_i + theta * t_i). The sum structure makes threads
+// independent, so this is exactly per-core timing speculation — the
+// interesting corollary being that SynTS' advantage is specific to
+// max-structured (barrier/throughput) synchronization.
+func SolveChain(c *Config, threads []Thread, theta float64) (Assignment, Metrics) {
+	a, _ := SolvePerCore(c, threads, theta)
+	// Metrics under the chain semantics: t_exec is the sum of stages.
+	m := Metrics{ThreadTimes: make([]float64, len(threads))}
+	for i, th := range threads {
+		v, r := a.V(c, i), a.R(c, i)
+		m.ThreadTimes[i] = c.ThreadTime(th, v, r)
+		m.TExec += m.ThreadTimes[i]
+		m.Energy += c.ThreadEnergy(th, v, r)
+	}
+	m.Cost = m.Energy + theta*m.TExec
+	return a, m
+}
+
+// LockMetrics evaluates an assignment under the critical-section execution
+// model (*) with serial fraction phi.
+func (c *Config) LockMetrics(threads []Thread, a Assignment, phi, theta float64) Metrics {
+	m := Metrics{ThreadTimes: make([]float64, len(threads))}
+	serial, par := 0.0, 0.0
+	for i, th := range threads {
+		v, r := a.V(c, i), a.R(c, i)
+		t := c.ThreadTime(th, v, r)
+		m.ThreadTimes[i] = t
+		serial += phi * t
+		if p := (1 - phi) * t; p > par {
+			par = p
+		}
+		m.Energy += c.ThreadEnergy(th, v, r)
+	}
+	m.TExec = serial + par
+	m.Cost = m.Energy + theta*m.TExec
+	return m
+}
+
+// SolveLock optimally solves the critical-section variant of SynTS-OPT for
+// serial fraction phi in [0, 1). phi = 0 reduces to SolvePoly's barrier
+// problem; phi -> 1 approaches the fully-serialised chain.
+func SolveLock(c *Config, threads []Thread, phi, theta float64) (Assignment, Metrics) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if phi < 0 || phi >= 1 {
+		panic("core: SolveLock serial fraction must be in [0, 1)")
+	}
+	if len(threads) == 0 {
+		panic("core: SolveLock with no threads")
+	}
+	m := len(threads)
+	q, s := len(c.Voltages), len(c.TSRs)
+
+	// Effective per-thread tables: parallel-phase time and energy+serial
+	// cost. The serial term theta*phi*t is per-thread separable, so it
+	// joins the energy in both the critical-thread scan and minEnergy.
+	parT := make([][][]float64, m)
+	eff := make([][][]float64, m)
+	for i, th := range threads {
+		parT[i] = make([][]float64, q)
+		eff[i] = make([][]float64, q)
+		for j, v := range c.Voltages {
+			parT[i][j] = make([]float64, s)
+			eff[i][j] = make([]float64, s)
+			for k, r := range c.TSRs {
+				t := c.ThreadTime(th, v, r)
+				parT[i][j][k] = (1 - phi) * t
+				eff[i][j][k] = c.ThreadEnergy(th, v, r) + theta*phi*t
+			}
+		}
+	}
+	minEff := func(l int, deadline float64) (float64, int, int) {
+		best := math.Inf(1)
+		bj, bk := -1, -1
+		for j := 0; j < q; j++ {
+			for k := 0; k < s; k++ {
+				if parT[l][j][k] <= deadline+1e-12 && eff[l][j][k] < best {
+					best = eff[l][j][k]
+					bj, bk = j, k
+				}
+			}
+		}
+		return best, bj, bk
+	}
+
+	bestCost := math.Inf(1)
+	var bestA Assignment
+	for i := 0; i < m; i++ {
+		for j := 0; j < q; j++ {
+			for k := 0; k < s; k++ {
+				deadline := parT[i][j][k]
+				cost := eff[i][j][k] + theta*deadline
+				a := Assignment{VIdx: make([]int, m), RIdx: make([]int, m)}
+				a.VIdx[i], a.RIdx[i] = j, k
+				feasible := true
+				for l := 0; l < m && feasible; l++ {
+					if l == i {
+						continue
+					}
+					e, lj, lk := minEff(l, deadline)
+					if lj < 0 {
+						feasible = false
+						break
+					}
+					cost += e
+					a.VIdx[l], a.RIdx[l] = lj, lk
+				}
+				if !feasible {
+					continue
+				}
+				checkFinite(cost, "cost in SolveLock")
+				if cost < bestCost {
+					bestCost = cost
+					bestA = a
+				}
+			}
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		panic("core: SolveLock found no feasible assignment")
+	}
+	return bestA, c.LockMetrics(threads, bestA, phi, theta)
+}
+
+// SolveLockBrute exhaustively solves the critical-section variant; the
+// oracle for SolveLock's optimality tests. Small instances only.
+func SolveLockBrute(c *Config, threads []Thread, phi, theta float64) (Assignment, Metrics) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	m := len(threads)
+	q, s := len(c.Voltages), len(c.TSRs)
+	nCfg := q * s
+	total := 1
+	for i := 0; i < m; i++ {
+		total *= nCfg
+		if total > 50_000_000 {
+			panic("core: SolveLockBrute instance too large")
+		}
+	}
+	cur := Assignment{VIdx: make([]int, m), RIdx: make([]int, m)}
+	bestCost := math.Inf(1)
+	var bestA Assignment
+	for n := 0; n < total; n++ {
+		x := n
+		for i := 0; i < m; i++ {
+			idx := x % nCfg
+			x /= nCfg
+			cur.VIdx[i] = idx / s
+			cur.RIdx[i] = idx % s
+		}
+		mt := c.LockMetrics(threads, cur, phi, theta)
+		if mt.Cost < bestCost {
+			bestCost = mt.Cost
+			bestA = cur.Clone()
+		}
+	}
+	return bestA, c.LockMetrics(threads, bestA, phi, theta)
+}

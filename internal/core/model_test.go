@@ -1,0 +1,92 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEvaluatePanicsOnSizeMismatch(t *testing.T) {
+	c := testConfig()
+	ths := randThreads(rand.New(rand.NewSource(41)), 3)
+	a := uniformAssignment(2, 0, len(c.TSRs)-1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched assignment accepted")
+		}
+	}()
+	c.Evaluate(ths, a, 1)
+}
+
+func TestAssignmentCloneIsDeep(t *testing.T) {
+	a := uniformAssignment(3, 1, 2)
+	b := a.Clone()
+	b.VIdx[0] = 5
+	b.RIdx[2] = 4
+	if a.VIdx[0] == 5 || a.RIdx[2] == 4 {
+		t.Fatal("Clone shares backing arrays")
+	}
+}
+
+func TestAssignmentAccessors(t *testing.T) {
+	c := testConfig()
+	a := uniformAssignment(1, 1, 0)
+	if a.V(c, 0) != c.Voltages[1] {
+		t.Errorf("V = %v", a.V(c, 0))
+	}
+	if a.R(c, 0) != c.TSRs[0] {
+		t.Errorf("R = %v", a.R(c, 0))
+	}
+}
+
+func TestMetricsEDP(t *testing.T) {
+	m := Metrics{Energy: 3, TExec: 4}
+	if m.EDP() != 12 {
+		t.Fatalf("EDP = %v", m.EDP())
+	}
+}
+
+func TestZeroErrThreadIsFreeOfPenalty(t *testing.T) {
+	c := testConfig()
+	th := Thread{N: 100, CPIBase: 1, Err: ZeroErr}
+	// At any ratio, SPI is just r * tnom * CPI.
+	for _, r := range c.TSRs {
+		want := r * c.TNom(1.0) * 1
+		if got := c.SPI(th, 1.0, r); got != want {
+			t.Fatalf("SPI(%v) = %v, want %v", r, got, want)
+		}
+	}
+}
+
+func TestSolversHandleZeroInstructionThread(t *testing.T) {
+	c := testConfig()
+	ths := []Thread{
+		{N: 0, CPIBase: 1, Err: ZeroErr}, // idle thread (e.g. cholesky's non-owners)
+		{N: 5000, CPIBase: 1.2, Err: ConstErr(0.8, 0.1)},
+	}
+	for _, s := range Solvers() {
+		_, m := s.Solve(c, ths, 1)
+		if m.ThreadTimes[0] != 0 {
+			t.Errorf("%s: idle thread has nonzero time %v", s.Name, m.ThreadTimes[0])
+		}
+		if m.TExec <= 0 {
+			t.Errorf("%s: TExec %v", s.Name, m.TExec)
+		}
+	}
+}
+
+func TestNaNErrFuncPanics(t *testing.T) {
+	c := testConfig()
+	bad := func(float64) float64 { return nan() }
+	ths := []Thread{{N: 100, CPIBase: 1, Err: bad}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN-producing ErrFunc slipped through the solver")
+		}
+	}()
+	SolvePoly(c, ths, 1)
+}
+
+func nan() float64 {
+	z := 0.0
+	return z / z
+}

@@ -1,0 +1,168 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// OnlineConfig holds the knobs of the online sampling phase (§4.3).
+type OnlineConfig struct {
+	// NSamp is the number of instructions each thread spends sampling at
+	// the start of the barrier interval (the thesis uses 10% of the
+	// interval, 50K instructions for long intervals, 10K for FMM).
+	NSamp float64
+	// NSampPer optionally overrides NSamp per thread. Strongly imbalanced
+	// intervals want each thread to sample a fraction of its *own* work:
+	// a single budget either starves the large threads' estimates or burns
+	// a disproportionate share of the small threads' instructions at the
+	// sampling voltage.
+	NSampPer []float64
+	// VSampIdx indexes Config.Voltages: the fixed voltage all threads use
+	// while sampling (the thesis uses the nominal chip voltage, index 0).
+	VSampIdx int
+}
+
+// nsampFor returns the sampling budget of thread i.
+func (oc OnlineConfig) nsampFor(i int) float64 {
+	if oc.NSampPer != nil {
+		return oc.NSampPer[i]
+	}
+	return oc.NSamp
+}
+
+// ErrEstimator reports the error rate observed for a thread while sampling
+// at TSR index rIdx. Implementations measure this by running the thread's
+// first instructions speculatively and counting Razor error events (the
+// razor package provides one over recorded delay traces).
+type ErrEstimator func(thread, rIdx int) float64
+
+// SampleSlot is one slot of the Fig 4.7 sampling schedule.
+type SampleSlot struct {
+	RIdx   int
+	Instrs float64
+}
+
+// SamplingSchedule returns the per-thread schedule of the sampling phase:
+// NSamp/S instructions at each of the S TSR levels (Fig 4.7).
+func SamplingSchedule(c *Config, oc OnlineConfig) []SampleSlot {
+	s := len(c.TSRs)
+	slots := make([]SampleSlot, s)
+	for k := range slots {
+		slots[k] = SampleSlot{RIdx: k, Instrs: oc.NSamp / float64(s)}
+	}
+	return slots
+}
+
+// EstimatedErrFunc builds the estimated error-probability function ~err_i
+// from the sampled rates: a lookup on the nearest sampled ratio. SolvePoly
+// only queries the discrete TSR levels, so the lookup is exact there; the
+// nearest-point rule extends the estimate to other ratios the way the
+// thesis extends the V_samp estimate to other voltages.
+func EstimatedErrFunc(c *Config, rates []float64) ErrFunc {
+	if len(rates) != len(c.TSRs) {
+		panic(fmt.Sprintf("core: %d sampled rates for %d TSR levels", len(rates), len(c.TSRs)))
+	}
+	tsrs := append([]float64(nil), c.TSRs...)
+	rs := append([]float64(nil), rates...)
+	return func(r float64) float64 {
+		best, bd := 0, math.Inf(1)
+		for i, rr := range tsrs {
+			if d := math.Abs(rr - r); d < bd {
+				bd, best = d, i
+			}
+		}
+		return rs[best]
+	}
+}
+
+// OnlineResult reports an online-SynTS decision and its true cost.
+type OnlineResult struct {
+	// Assignment is the configuration chosen from the estimates and applied
+	// to the post-sampling remainder of the interval.
+	Assignment Assignment
+	// Metrics is the *actual* outcome: sampling-phase time and energy plus
+	// the remainder executed at the chosen configuration, all evaluated
+	// with the true error functions.
+	Metrics Metrics
+	// SamplingTime and SamplingEnergy isolate the overhead contribution.
+	SamplingTime   []float64
+	SamplingEnergy float64
+	// Estimates are the per-thread estimated error functions (Fig 6.17).
+	Estimates []ErrFunc
+}
+
+// SolveOnline runs the practical SynTS flow for one barrier interval:
+// sample error rates per TSR level at V_samp, optimise with SynTS-Poly on
+// the estimates, then charge the true cost of both the sampling phase and
+// the optimised remainder (§4.3, evaluated in §6.2).
+func SolveOnline(c *Config, actual []Thread, est ErrEstimator, oc OnlineConfig, theta float64) OnlineResult {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if oc.NSamp < 0 {
+		panic("core: negative NSamp")
+	}
+	if oc.NSampPer != nil && len(oc.NSampPer) != len(actual) {
+		panic(fmt.Sprintf("core: %d per-thread sampling budgets for %d threads", len(oc.NSampPer), len(actual)))
+	}
+	if oc.VSampIdx < 0 || oc.VSampIdx >= len(c.Voltages) {
+		panic(fmt.Sprintf("core: VSampIdx %d out of range", oc.VSampIdx))
+	}
+	m := len(actual)
+	vsamp := c.Voltages[oc.VSampIdx]
+	nLevels := float64(len(c.TSRs))
+
+	// Build estimated threads over the post-sampling remainder.
+	estThreads := make([]Thread, m)
+	estimates := make([]ErrFunc, m)
+	sampTime := make([]float64, m)
+	sampEnergy := 0.0
+	for i, th := range actual {
+		rates := make([]float64, len(c.TSRs))
+		for k := range c.TSRs {
+			rates[k] = est(i, k)
+		}
+		estimates[i] = EstimatedErrFunc(c, rates)
+		nSamp := math.Min(oc.nsampFor(i), th.N)
+		if nSamp < 0 {
+			panic("core: negative per-thread NSamp")
+		}
+		rem := th.N - nSamp
+		estThreads[i] = Thread{N: rem, CPIBase: th.CPIBase, Err: estimates[i]}
+
+		// True sampling-phase cost: nSamp/S instructions at each (vsamp,
+		// R_k), with the thread's *actual* error behaviour.
+		for k := range c.TSRs {
+			sub := Thread{N: nSamp / nLevels, CPIBase: th.CPIBase, Err: th.Err}
+			sampTime[i] += c.ThreadTime(sub, vsamp, c.TSRs[k])
+			sampEnergy += c.ThreadEnergy(sub, vsamp, c.TSRs[k])
+		}
+	}
+
+	a, _ := SolvePoly(c, estThreads, theta)
+
+	// Actual outcome of the remainder under the chosen assignment.
+	actualRem := make([]Thread, m)
+	for i, th := range actual {
+		nSamp := math.Min(oc.nsampFor(i), th.N)
+		actualRem[i] = Thread{N: th.N - nSamp, CPIBase: th.CPIBase, Err: th.Err}
+	}
+	run := c.Evaluate(actualRem, a, theta)
+
+	mt := Metrics{ThreadTimes: make([]float64, m)}
+	for i := range actual {
+		mt.ThreadTimes[i] = sampTime[i] + run.ThreadTimes[i]
+		if mt.ThreadTimes[i] > mt.TExec {
+			mt.TExec = mt.ThreadTimes[i]
+		}
+	}
+	mt.Energy = sampEnergy + run.Energy
+	mt.Cost = mt.Energy + theta*mt.TExec
+	return OnlineResult{
+		Assignment:     a,
+		Metrics:        mt,
+		SamplingTime:   sampTime,
+		SamplingEnergy: sampEnergy,
+		Estimates:      estimates,
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import "fmt"
+
+// Workload prediction. The online experiments of §6.2 assume "the
+// information on workload heterogeneity (N_i for each thread) is available
+// from offline characterization or using online workload prediction
+// techniques proposed in the literature [8, 15, 16]". This file provides
+// the online alternative: per-thread instruction-count predictors fed by
+// the counts the hardware observes at each barrier.
+
+// NPredictor forecasts each thread's next-interval instruction count.
+type NPredictor interface {
+	// Predict returns the forecast for the thread's next barrier interval,
+	// or 0 if no history exists yet.
+	Predict(thread int) float64
+	// Observe records the actual count once the interval retires.
+	Observe(thread int, n float64)
+}
+
+// EWMAPredictor is an exponentially-weighted moving average: robust to
+// noise, slow to follow phase changes.
+type EWMAPredictor struct {
+	alpha float64
+	est   []float64
+	seen  []bool
+}
+
+// NewEWMAPredictor returns an EWMA predictor for the given thread count;
+// alpha in (0, 1] is the new-sample weight.
+func NewEWMAPredictor(threads int, alpha float64) *EWMAPredictor {
+	if alpha <= 0 || alpha > 1 {
+		panic(fmt.Sprintf("core: EWMA alpha %v out of (0, 1]", alpha))
+	}
+	return &EWMAPredictor{alpha: alpha, est: make([]float64, threads), seen: make([]bool, threads)}
+}
+
+// Predict returns the smoothed estimate.
+func (p *EWMAPredictor) Predict(thread int) float64 {
+	if !p.seen[thread] {
+		return 0
+	}
+	return p.est[thread]
+}
+
+// Observe folds in an actual count.
+func (p *EWMAPredictor) Observe(thread int, n float64) {
+	if !p.seen[thread] {
+		p.est[thread] = n
+		p.seen[thread] = true
+		return
+	}
+	p.est[thread] = p.alpha*n + (1-p.alpha)*p.est[thread]
+}
+
+// PeriodicPredictor assumes the program repeats a phase pattern of the
+// given period (e.g. the histogram/scan/permute cycle of radix): the
+// prediction for interval t is the count observed at interval t-period.
+// It falls back to last-value until one full period has been seen.
+type PeriodicPredictor struct {
+	period  int
+	history [][]float64 // per thread
+}
+
+// NewPeriodicPredictor returns a predictor keyed to a phase period.
+func NewPeriodicPredictor(threads, period int) *PeriodicPredictor {
+	if period <= 0 {
+		panic(fmt.Sprintf("core: period %d must be positive", period))
+	}
+	return &PeriodicPredictor{period: period, history: make([][]float64, threads)}
+}
+
+// Predict returns the count one period ago, the last value if the period
+// is not yet covered, or 0 with no history.
+func (p *PeriodicPredictor) Predict(thread int) float64 {
+	h := p.history[thread]
+	switch {
+	case len(h) == 0:
+		return 0
+	case len(h) >= p.period:
+		return h[len(h)-p.period]
+	default:
+		return h[len(h)-1]
+	}
+}
+
+// Observe appends an actual count.
+func (p *PeriodicPredictor) Observe(thread int, n float64) {
+	p.history[thread] = append(p.history[thread], n)
+}
+
+// PredictThreads replaces each thread's N with the predictor's forecast,
+// falling back to the true value when no history exists (the first
+// interval of a program is characterised offline either way). The returned
+// slice is new; the inputs are not modified.
+func PredictThreads(p NPredictor, actual []Thread) []Thread {
+	out := make([]Thread, len(actual))
+	for i, th := range actual {
+		out[i] = th
+		if n := p.Predict(i); n > 0 {
+			out[i].N = n
+		}
+	}
+	return out
+}

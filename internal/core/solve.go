@@ -1,0 +1,206 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolvePoly implements SynTS-Poly (Algorithm 1): it returns an optimal
+// solution of SynTS-OPT (Eq. 4.4) in O(M^2 Q^2 S^2) time.
+//
+// The algorithm nominates each thread i at each (voltage, TSR) combination
+// as the critical thread, fixing the barrier time t_exec to thread i's
+// execution time; every other thread then independently takes its
+// minimum-energy configuration that finishes by t_exec. The optimality
+// argument (Lemma 4.2.1): some thread is critical in the optimum, the loop
+// visits that (thread, config) pair, non-critical threads only contribute
+// energy, and their energy-minimal deadline-feasible choice can only
+// improve on their optimal-solution choice.
+func SolvePoly(c *Config, threads []Thread, theta float64) (Assignment, Metrics) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	if len(threads) == 0 {
+		panic("core: SolvePoly with no threads")
+	}
+	m := len(threads)
+	q := len(c.Voltages)
+	s := len(c.TSRs)
+
+	// Precompute per-thread tables: time[i][j][k], energy[i][j][k].
+	timeT := make([][][]float64, m)
+	enT := make([][][]float64, m)
+	for i, th := range threads {
+		timeT[i] = make([][]float64, q)
+		enT[i] = make([][]float64, q)
+		for j, v := range c.Voltages {
+			timeT[i][j] = make([]float64, s)
+			enT[i][j] = make([]float64, s)
+			for k, r := range c.TSRs {
+				timeT[i][j][k] = th.N * c.SPI(th, v, r)
+				enT[i][j][k] = c.ThreadEnergy(th, v, r)
+			}
+		}
+	}
+
+	// minEnergy(l, texec): lowest energy of thread l finishing by texec.
+	minEnergy := func(l int, texec float64) (float64, int, int) {
+		best := math.Inf(1)
+		bj, bk := -1, -1
+		for j := 0; j < q; j++ {
+			for k := 0; k < s; k++ {
+				if timeT[l][j][k] <= texec+1e-12 && enT[l][j][k] < best {
+					best = enT[l][j][k]
+					bj, bk = j, k
+				}
+			}
+		}
+		return best, bj, bk
+	}
+
+	bestCost := math.Inf(1)
+	var bestA Assignment
+	for i := 0; i < m; i++ {
+		for j := 0; j < q; j++ {
+			for k := 0; k < s; k++ {
+				texec := timeT[i][j][k]
+				en := enT[i][j][k]
+				a := Assignment{VIdx: make([]int, m), RIdx: make([]int, m)}
+				a.VIdx[i], a.RIdx[i] = j, k
+				feasible := true
+				for l := 0; l < m && feasible; l++ {
+					if l == i {
+						continue
+					}
+					e, lj, lk := minEnergy(l, texec)
+					if lj < 0 {
+						feasible = false // some thread cannot meet this deadline
+						break
+					}
+					en += e
+					a.VIdx[l], a.RIdx[l] = lj, lk
+				}
+				if !feasible {
+					continue
+				}
+				cost := en + theta*texec
+				checkFinite(cost, "cost in SolvePoly")
+				if cost < bestCost {
+					bestCost = cost
+					bestA = a
+				}
+			}
+		}
+	}
+	if math.IsInf(bestCost, 1) {
+		// Unreachable: the candidate where the slowest thread picks its own
+		// fastest configuration is always feasible.
+		panic("core: SolvePoly found no feasible assignment")
+	}
+	return bestA, c.Evaluate(threads, bestA, theta)
+}
+
+// SolveBrute exhaustively enumerates all (Q*S)^M assignments and returns a
+// cost-optimal one. It is the reference oracle for SolvePoly and the MILP;
+// use only for small instances.
+func SolveBrute(c *Config, threads []Thread, theta float64) (Assignment, Metrics) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	m := len(threads)
+	q, s := len(c.Voltages), len(c.TSRs)
+	nCfg := q * s
+	total := 1
+	for i := 0; i < m; i++ {
+		total *= nCfg
+		if total > 50_000_000 {
+			panic(fmt.Sprintf("core: SolveBrute instance too large (%d^%d assignments)", nCfg, m))
+		}
+	}
+	idx := make([]int, m)
+	cur := Assignment{VIdx: make([]int, m), RIdx: make([]int, m)}
+	bestCost := math.Inf(1)
+	var bestA Assignment
+	for n := 0; n < total; n++ {
+		x := n
+		for i := 0; i < m; i++ {
+			idx[i] = x % nCfg
+			x /= nCfg
+			cur.VIdx[i] = idx[i] / s
+			cur.RIdx[i] = idx[i] % s
+		}
+		mt := c.Evaluate(threads, cur, theta)
+		if mt.Cost < bestCost {
+			bestCost = mt.Cost
+			bestA = cur.Clone()
+		}
+	}
+	return bestA, c.Evaluate(threads, bestA, theta)
+}
+
+// SolveNominal returns the Nominal baseline: every core at the nominal
+// (highest) voltage with no timing speculation.
+func SolveNominal(c *Config, threads []Thread, theta float64) (Assignment, Metrics) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	a := uniformAssignment(len(threads), 0, len(c.TSRs)-1)
+	return a, c.Evaluate(threads, a, theta)
+}
+
+// SolveNoTS returns the No-TS baseline: per-thread voltage scaling chosen
+// jointly to minimise Eq. 4.4, but with timing speculation disabled (r = 1
+// for every thread). This models conventional barrier-aware DVFS schemes.
+func SolveNoTS(c *Config, threads []Thread, theta float64) (Assignment, Metrics) {
+	restricted := *c
+	restricted.TSRs = c.TSRs[len(c.TSRs)-1:] // {1}
+	a, _ := SolvePoly(&restricted, threads, theta)
+	for i := range a.RIdx {
+		a.RIdx[i] = len(c.TSRs) - 1 // re-index into the full TSR table
+	}
+	return a, c.Evaluate(threads, a, theta)
+}
+
+// SolvePerCore returns the Per-core TS baseline: each core independently
+// minimises its own energy + theta * time using offline knowledge of its
+// error probability function — the best possible single-core timing
+// speculation (Razor-style) scheme, ignoring barrier interactions.
+func SolvePerCore(c *Config, threads []Thread, theta float64) (Assignment, Metrics) {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	m := len(threads)
+	a := Assignment{VIdx: make([]int, m), RIdx: make([]int, m)}
+	for i, th := range threads {
+		best := math.Inf(1)
+		for j, v := range c.Voltages {
+			for k, r := range c.TSRs {
+				cost := c.ThreadEnergy(th, v, r) + theta*c.ThreadTime(th, v, r)
+				checkFinite(cost, "cost in SolvePerCore")
+				if cost < best {
+					best = cost
+					a.VIdx[i], a.RIdx[i] = j, k
+				}
+			}
+		}
+	}
+	return a, c.Evaluate(threads, a, theta)
+}
+
+// Solver is a named solving strategy, for experiment drivers that sweep
+// across approaches.
+type Solver struct {
+	Name  string
+	Solve func(c *Config, threads []Thread, theta float64) (Assignment, Metrics)
+}
+
+// Solvers returns the four approaches compared throughout Section 6,
+// in the order the figures present them.
+func Solvers() []Solver {
+	return []Solver{
+		{"SynTS", SolvePoly},
+		{"Per-core TS", SolvePerCore},
+		{"No TS", SolveNoTS},
+		{"Nominal", SolveNominal},
+	}
+}

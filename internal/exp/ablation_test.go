@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+
+	"synts/internal/trace"
+)
+
+func TestAdderAblationShape(t *testing.T) {
+	b := loadBench(t, "radix", testOptions())
+	tbl, err := AdderAblation(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 adder rows, got %d", len(tbl.Rows))
+	}
+	// Column 2 is the STA period: ripple must be by far the slowest and
+	// kogge-stone the fastest.
+	sta := func(row int) float64 {
+		v, err := strconv.ParseFloat(tbl.Rows[row][2], 64)
+		if err != nil {
+			t.Fatalf("row %d STA cell %q: %v", row, tbl.Rows[row][2], err)
+		}
+		return v
+	}
+	if !(sta(0) > sta(1) && sta(1) > sta(2)) {
+		t.Errorf("expected ripple > brent-kung > kogge-stone STA: %v, %v, %v", sta(0), sta(1), sta(2))
+	}
+	// Ripple's err(0.64) must be (near) zero — the dead-range pathology.
+	ripErr, _ := strconv.ParseFloat(tbl.Rows[0][3], 64)
+	ksErr, _ := strconv.ParseFloat(tbl.Rows[2][3], 64)
+	if ripErr > 0.01 {
+		t.Errorf("ripple err(0.64) = %v, expected ~0 (chain never sensitized)", ripErr)
+	}
+	if ksErr <= ripErr {
+		t.Errorf("kogge-stone err(0.64) = %v must exceed ripple's %v", ksErr, ripErr)
+	}
+}
+
+func TestDelayModelAblation(t *testing.T) {
+	b := loadBench(t, "radix", testOptions())
+	tbl, err := DelayModelAblation(b, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Event-driven (glitch-aware) err must be >= levelized at each ratio.
+	for row := 0; row < 3; row++ {
+		lv, err1 := strconv.ParseFloat(tbl.Rows[row][1], 64)
+		ev, err2 := strconv.ParseFloat(tbl.Rows[row][2], 64)
+		if err1 != nil || err2 != nil {
+			t.Fatalf("row %d not numeric: %v", row, tbl.Rows[row])
+		}
+		if ev < lv-1e-9 {
+			t.Errorf("row %d: event-driven err %v below levelized %v", row, ev, lv)
+		}
+	}
+}
+
+func TestGranuleAblation(t *testing.T) {
+	b := loadBench(t, "radix", testOptions())
+	tbl, err := GranuleAblation(b, trace.SimpleALU, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) < 4 {
+		t.Fatalf("want several granule rows, got %d", len(tbl.Rows))
+	}
+	// Every configuration's online cost must stay within 2x of offline.
+	for _, row := range tbl.Rows {
+		ratio, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("cost cell %q: %v", row[2], err)
+		}
+		if ratio < 1-1e-9 || ratio > 2 {
+			t.Errorf("granule %s: online/offline cost %v out of [1, 2]", row[0], ratio)
+		}
+	}
+}
+
+func TestVariationAblation(t *testing.T) {
+	b := loadBench(t, "radix", testOptions())
+	tbl, err := VariationAblation(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 sigma rows, got %d", len(tbl.Rows))
+	}
+	// STA must grow monotonically with sigma (slow-corner instances
+	// lengthen the worst path).
+	prev := 0.0
+	for i, row := range tbl.Rows {
+		sta, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("STA cell %q: %v", row[1], err)
+		}
+		if sta < prev {
+			t.Errorf("row %d: STA %v below previous %v", i, sta, prev)
+		}
+		prev = sta
+	}
+}
+
+func TestRecoveryAblation(t *testing.T) {
+	b := loadBench(t, "radix", testOptions())
+	tbl, err := RecoveryAblation(b, trace.SimpleALU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("want 4 penalty rows, got %d", len(tbl.Rows))
+	}
+	// The critical thread's optimal TSR must be non-decreasing in the
+	// penalty (costlier recovery discourages speculation).
+	prev := 0.0
+	for i, row := range tbl.Rows {
+		r, err := strconv.ParseFloat(row[1], 64)
+		if err != nil {
+			t.Fatalf("TSR cell %q: %v", row[1], err)
+		}
+		if r < prev-1e-9 {
+			t.Errorf("row %d: optimal TSR %v decreased from %v as penalty grew", i, r, prev)
+		}
+		prev = r
+		// SynTS never loses to Nominal or No-TS at any penalty.
+		for col := 2; col <= 3; col++ {
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil {
+				t.Fatalf("cell %q: %v", row[col], err)
+			}
+			if v > 1+1e-9 {
+				t.Errorf("row %d col %d: SynTS EDP ratio %v above 1", i, col, v)
+			}
+		}
+	}
+}

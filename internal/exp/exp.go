@@ -1,0 +1,205 @@
+// Package exp wires the substrates together into the thesis' experiments:
+// each table and figure of the evaluation has a driver here that produces
+// its data, and the cmd/synts tool and the benchmark harness render them.
+package exp
+
+import (
+	"fmt"
+	"sync"
+
+	"synts/internal/core"
+	"synts/internal/cpu"
+	"synts/internal/trace"
+	"synts/internal/vscale"
+	"synts/internal/workload"
+)
+
+// Options configures an experiment run. The defaults reproduce the thesis
+// setup scaled to simulator-friendly trace lengths.
+type Options struct {
+	Threads      int   // cores = threads (4-core Alpha in the thesis)
+	Size         int   // workload size knob passed to the kernels
+	Seed         int64 // data seed
+	MaxIntervals int   // barrier intervals analysed per benchmark (3 in §5.2)
+	Cache        cpu.CacheConfig
+	// NSampFrac is the sampling-phase fraction for online SynTS (10%).
+	NSampFrac float64
+	// CPenalty is the Razor recovery penalty in cycles.
+	CPenalty float64
+}
+
+// DefaultOptions mirrors §5: 4 cores, 3 barrier intervals, 10% sampling,
+// 5-cycle recovery.
+func DefaultOptions() Options {
+	return Options{
+		Threads:      4,
+		Size:         2,
+		Seed:         2016,
+		MaxIntervals: 3,
+		Cache:        cpu.DefaultL1(),
+		NSampFrac:    0.10,
+		CPenalty:     5,
+	}
+}
+
+// TSRs returns the six timing-speculation ratios of §6.2: evenly spaced
+// fractions r in [0.64, 1] of the nominal clock period.
+func TSRs() []float64 {
+	return []float64{0.64, 0.712, 0.784, 0.856, 0.928, 1.0}
+}
+
+// Platform builds the solver configuration for a pipe stage: the paper's
+// Table 5.1 voltage levels with the stage's STA critical path as the
+// nominal period at 1.0 V.
+func Platform(stage trace.Stage, opts Options) *core.Config {
+	tcrit := trace.NewStageCircuit(stage).TCrit
+	table := vscale.PaperTable()
+	return &core.Config{
+		Voltages: vscale.PaperVoltages(),
+		TNom:     func(v float64) float64 { return tcrit * table.TNom(v) },
+		TSRs:     TSRs(),
+		CPenalty: opts.CPenalty,
+		Alpha:    1,
+	}
+}
+
+// Bench bundles one benchmark's streams and per-stage profiles.
+type Bench struct {
+	Name     string
+	Opts     Options
+	Streams  []*workload.Stream
+	profiles map[trace.Stage][][]*trace.Profile
+	mu       sync.Mutex
+}
+
+// LoadBench runs the kernel and truncates every thread's trace to
+// MaxIntervals barrier intervals (§5.2 runs 3 intervals or to completion).
+func LoadBench(name string, opts Options) (*Bench, error) {
+	k, err := workload.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	streams := workload.RunKernel(k, opts.Threads, opts.Size, opts.Seed)
+	if opts.MaxIntervals > 0 {
+		for _, s := range streams {
+			if len(s.Intervals) > opts.MaxIntervals {
+				s.Intervals = s.Intervals[:opts.MaxIntervals]
+			}
+		}
+	}
+	return &Bench{
+		Name:     name,
+		Opts:     opts,
+		Streams:  streams,
+		profiles: make(map[trace.Stage][][]*trace.Profile),
+	}, nil
+}
+
+// Profiles returns (building and caching on first use) the [thread][interval]
+// profiles of the benchmark for a stage.
+func (b *Bench) Profiles(stage trace.Stage) ([][]*trace.Profile, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if p, ok := b.profiles[stage]; ok {
+		return p, nil
+	}
+	p, err := trace.BuildProfiles(b.Streams, stage, b.Opts.Cache)
+	if err != nil {
+		return nil, err
+	}
+	b.profiles[stage] = p
+	return p, nil
+}
+
+// Intervals returns the per-interval solver inputs for a stage.
+func (b *Bench) Intervals(stage trace.Stage) ([][]core.Thread, error) {
+	p, err := b.Profiles(stage)
+	if err != nil {
+		return nil, err
+	}
+	return trace.IntervalThreads(p), nil
+}
+
+// Totals aggregates a per-interval (energy, texec) sequence.
+type Totals struct {
+	Energy float64
+	Time   float64
+}
+
+// EDP returns energy * time.
+func (t Totals) EDP() float64 { return t.Energy * t.Time }
+
+// SolveAll runs a solver over every barrier interval and sums energy and
+// execution time (Eq. 4.2's "total execution time is the sum over barrier
+// intervals").
+func SolveAll(cfg *core.Config, intervals [][]core.Thread, solve func(*core.Config, []core.Thread, float64) (core.Assignment, core.Metrics), theta float64) Totals {
+	var tot Totals
+	for _, ths := range intervals {
+		if emptyInterval(ths) {
+			continue
+		}
+		_, m := solve(cfg, ths, theta)
+		tot.Energy += m.Energy
+		tot.Time += m.TExec
+	}
+	return tot
+}
+
+func emptyInterval(ths []core.Thread) bool {
+	for _, th := range ths {
+		if th.N > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ThetaGrid returns weight values spanning the energy-vs-time trade-off.
+// The weights are expressed relative to the benchmark's nominal
+// energy/time ratio so the sweep covers the Pareto front regardless of
+// units: theta = w * E_nom / T_nom.
+func ThetaGrid(cfg *core.Config, intervals [][]core.Thread, weights []float64) []float64 {
+	var nom Totals
+	for _, ths := range intervals {
+		if emptyInterval(ths) {
+			continue
+		}
+		_, m := core.SolveNominal(cfg, ths, 0)
+		nom.Energy += m.Energy
+		nom.Time += m.TExec
+	}
+	ratio := 1.0
+	if nom.Time > 0 {
+		ratio = nom.Energy / nom.Time
+	}
+	out := make([]float64, len(weights))
+	for i, w := range weights {
+		out[i] = w * ratio
+	}
+	return out
+}
+
+// DefaultWeights spans four decades around the balanced point, densely
+// enough near w = 1 that the per-approach curves can be compared at
+// matched time budgets.
+func DefaultWeights() []float64 {
+	return []float64{0.01, 0.03, 0.1, 0.2, 0.3, 0.5, 0.7, 1, 1.5, 2, 3, 5, 10, 30, 100}
+}
+
+// Nominal returns the Nominal-baseline totals for normalisation.
+func Nominal(cfg *core.Config, intervals [][]core.Thread) Totals {
+	return SolveAll(cfg, intervals, core.SolveNominal, 0)
+}
+
+// BenchNames maps short benchmark identifiers used on the command line.
+func BenchNames() []string { return workload.FullSuite() }
+
+// StageByName parses a stage name.
+func StageByName(name string) (trace.Stage, error) {
+	for _, s := range trace.Stages() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("exp: unknown stage %q (want Decode, SimpleALU or ComplexALU)", name)
+}

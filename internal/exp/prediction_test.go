@@ -1,0 +1,36 @@
+package exp
+
+import (
+	"strconv"
+	"testing"
+
+	"synts/internal/trace"
+)
+
+func TestPredictionStudy(t *testing.T) {
+	b := loadBench(t, "radix", testOptions())
+	tbl, err := PredictionStudy(b, trace.SimpleALU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("want 3 predictor rows, got %d", len(tbl.Rows))
+	}
+	// Oracle row: zero prediction error, EDP ratio exactly 1.
+	if tbl.Rows[0][1] != "0" {
+		t.Errorf("oracle N error = %q, want 0", tbl.Rows[0][1])
+	}
+	if tbl.Rows[0][2] != "1" {
+		t.Errorf("oracle EDP ratio = %q, want 1", tbl.Rows[0][2])
+	}
+	// Predictors must stay within 2.5x of the oracle EDP.
+	for _, row := range tbl.Rows[1:] {
+		ratio, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("EDP cell %q: %v", row[2], err)
+		}
+		if ratio < 0.5 || ratio > 2.5 {
+			t.Errorf("%s: EDP ratio %v implausible", row[0], ratio)
+		}
+	}
+}

@@ -1,0 +1,197 @@
+// Package gates defines the combinational gate library used to build the
+// pipe-stage netlists that SynTS analyses.
+//
+// The paper obtains per-gate propagation delays from HSPICE simulations of
+// the 22 nm Predictive Technology Model. This package substitutes a static
+// standard-cell library with intrinsic delays (in picoseconds) and areas
+// (in normalized cell units) whose ratios are representative of a deep
+// sub-micron node: an inverter is the fastest cell, XOR-class cells cost
+// roughly two inverter delays, and series-stacked cells (NAND3/NOR3) sit in
+// between. Only the *relative* delays of sensitized paths matter to the
+// error-probability functions err(r), because the timing-speculation ratio r
+// normalizes against the critical path of the same netlist.
+package gates
+
+import "fmt"
+
+// Kind identifies a gate type in the library.
+type Kind uint8
+
+// Gate kinds. BUF is a unit-delay buffer used for fanout/staging; CONST0 and
+// CONST1 are tie cells with zero delay.
+const (
+	CONST0 Kind = iota
+	CONST1
+	BUF
+	INV
+	AND2
+	OR2
+	NAND2
+	NOR2
+	XOR2
+	XNOR2
+	NAND3
+	NOR3
+	AND3
+	OR3
+	MUX2 // inputs: sel, a, b; output = a if sel==0 else b
+	AOI21
+	OAI21
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	"CONST0", "CONST1", "BUF", "INV", "AND2", "OR2", "NAND2", "NOR2",
+	"XOR2", "XNOR2", "NAND3", "NOR3", "AND3", "OR3", "MUX2", "AOI21", "OAI21",
+}
+
+// String returns the library name of the gate kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// NumInputs returns how many input pins the gate kind has.
+func (k Kind) NumInputs() int {
+	switch k {
+	case CONST0, CONST1:
+		return 0
+	case BUF, INV:
+		return 1
+	case AND2, OR2, NAND2, NOR2, XOR2, XNOR2:
+		return 2
+	case NAND3, NOR3, AND3, OR3, MUX2, AOI21, OAI21:
+		return 3
+	default:
+		panic("gates: unknown kind " + k.String())
+	}
+}
+
+// Delay returns the intrinsic propagation delay of the gate in picoseconds
+// at the nominal voltage. Voltage scaling is applied uniformly by the vscale
+// package, so one number per cell suffices.
+func (k Kind) Delay() float64 {
+	switch k {
+	case CONST0, CONST1:
+		return 0
+	case BUF:
+		return 9
+	case INV:
+		return 7
+	case NAND2:
+		return 10
+	case NOR2:
+		return 12
+	case AND2:
+		return 13 // NAND2 + INV
+	case OR2:
+		return 15 // NOR2 + INV
+	case XOR2, XNOR2:
+		return 19
+	case NAND3:
+		return 13
+	case NOR3:
+		return 16
+	case AND3:
+		return 16
+	case OR3:
+		return 19
+	case MUX2:
+		return 17
+	case AOI21, OAI21:
+		return 14
+	default:
+		panic("gates: unknown kind " + k.String())
+	}
+}
+
+// Area returns the cell area in normalized units (INV == 1). Used by the
+// SynTS overhead model (§6.3) to estimate Razor area relative to core area.
+func (k Kind) Area() float64 {
+	switch k {
+	case CONST0, CONST1:
+		return 0
+	case BUF:
+		return 1.5
+	case INV:
+		return 1
+	case NAND2, NOR2:
+		return 1.5
+	case AND2, OR2:
+		return 2
+	case XOR2, XNOR2:
+		return 3
+	case NAND3, NOR3:
+		return 2
+	case AND3, OR3:
+		return 2.5
+	case MUX2:
+		return 3
+	case AOI21, OAI21:
+		return 2
+	default:
+		panic("gates: unknown kind " + k.String())
+	}
+}
+
+// Eval computes the gate's output for the given input values. The length of
+// in must equal NumInputs. Inputs are logical levels (false=0, true=1).
+func (k Kind) Eval(in []bool) bool {
+	if len(in) != k.NumInputs() {
+		panic(fmt.Sprintf("gates: %s expects %d inputs, got %d", k, k.NumInputs(), len(in)))
+	}
+	switch k {
+	case CONST0:
+		return false
+	case CONST1:
+		return true
+	case BUF:
+		return in[0]
+	case INV:
+		return !in[0]
+	case AND2:
+		return in[0] && in[1]
+	case OR2:
+		return in[0] || in[1]
+	case NAND2:
+		return !(in[0] && in[1])
+	case NOR2:
+		return !(in[0] || in[1])
+	case XOR2:
+		return in[0] != in[1]
+	case XNOR2:
+		return in[0] == in[1]
+	case NAND3:
+		return !(in[0] && in[1] && in[2])
+	case NOR3:
+		return !(in[0] || in[1] || in[2])
+	case AND3:
+		return in[0] && in[1] && in[2]
+	case OR3:
+		return in[0] || in[1] || in[2]
+	case MUX2:
+		if in[0] {
+			return in[2]
+		}
+		return in[1]
+	case AOI21:
+		return !((in[0] && in[1]) || in[2])
+	case OAI21:
+		return !((in[0] || in[1]) && in[2])
+	default:
+		panic("gates: unknown kind " + k.String())
+	}
+}
+
+// FFArea is the area of a standard (non-Razor) flip-flop in INV units.
+const FFArea = 6.0
+
+// RazorFFArea is the area of a Razor flip-flop: main flop + shadow latch +
+// XOR comparator + error latch (Fig 1.1 of the thesis).
+const RazorFFArea = FFArea + 4.0 + 3.0 + 2.5
+
+// RazorFFEnergyOverhead is the fractional dynamic-energy overhead of a Razor
+// flip-flop over a standard flip-flop (shadow latch clocking + comparator).
+const RazorFFEnergyOverhead = 0.28

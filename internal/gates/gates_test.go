@@ -1,0 +1,147 @@
+package gates
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func allKinds() []Kind {
+	ks := make([]Kind, 0, int(numKinds))
+	for k := Kind(0); k < numKinds; k++ {
+		ks = append(ks, k)
+	}
+	return ks
+}
+
+func TestKindMetadataConsistent(t *testing.T) {
+	for _, k := range allKinds() {
+		if k.String() == "" {
+			t.Errorf("kind %d has empty name", k)
+		}
+		n := k.NumInputs()
+		if n < 0 || n > 3 {
+			t.Errorf("%s: NumInputs = %d out of range", k, n)
+		}
+		if d := k.Delay(); d < 0 {
+			t.Errorf("%s: negative delay %v", k, d)
+		}
+		if a := k.Area(); a < 0 {
+			t.Errorf("%s: negative area %v", k, a)
+		}
+		// Constants are free; everything else costs time and area.
+		if k != CONST0 && k != CONST1 {
+			if k.Delay() <= 0 {
+				t.Errorf("%s: delay must be positive", k)
+			}
+			if k.Area() <= 0 {
+				t.Errorf("%s: area must be positive", k)
+			}
+		}
+	}
+}
+
+func TestInverterIsFastest(t *testing.T) {
+	for _, k := range allKinds() {
+		if k == CONST0 || k == CONST1 || k == INV {
+			continue
+		}
+		if k.Delay() < INV.Delay() {
+			t.Errorf("%s delay %v is faster than INV %v", k, k.Delay(), INV.Delay())
+		}
+	}
+}
+
+// truth tables, indexed by input bits packed LSB-first.
+var truth = map[Kind][]bool{
+	BUF:   {false, true},
+	INV:   {true, false},
+	AND2:  {false, false, false, true},
+	OR2:   {false, true, true, true},
+	NAND2: {true, true, true, false},
+	NOR2:  {true, false, false, false},
+	XOR2:  {false, true, true, false},
+	XNOR2: {true, false, false, true},
+	NAND3: {true, true, true, true, true, true, true, false},
+	NOR3:  {true, false, false, false, false, false, false, false},
+	AND3:  {false, false, false, false, false, false, false, true},
+	OR3:   {false, true, true, true, true, true, true, true},
+	// MUX2 inputs are (sel, a, b): out = sel ? b : a
+	MUX2:  {false, false, true, false, false, true, true, true},
+	AOI21: {true, true, true, false, false, false, false, false},
+	OAI21: {true, true, true, true, true, false, false, false},
+}
+
+func TestEvalTruthTables(t *testing.T) {
+	for k, tt := range truth {
+		n := k.NumInputs()
+		if len(tt) != 1<<n {
+			t.Fatalf("%s: truth table has %d entries, want %d", k, len(tt), 1<<n)
+		}
+		for row := 0; row < 1<<n; row++ {
+			in := make([]bool, n)
+			for b := 0; b < n; b++ {
+				in[b] = row&(1<<b) != 0
+			}
+			if got := k.Eval(in); got != tt[row] {
+				t.Errorf("%s.Eval(%v) = %v, want %v", k, in, got, tt[row])
+			}
+		}
+	}
+}
+
+func TestEvalConstants(t *testing.T) {
+	if CONST0.Eval(nil) != false {
+		t.Error("CONST0 must evaluate to false")
+	}
+	if CONST1.Eval(nil) != true {
+		t.Error("CONST1 must evaluate to true")
+	}
+}
+
+func TestEvalArityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Eval with wrong arity did not panic")
+		}
+	}()
+	AND2.Eval([]bool{true})
+}
+
+// Property: De Morgan duality between the library cells.
+func TestDeMorganProperty(t *testing.T) {
+	f := func(a, b bool) bool {
+		nand := NAND2.Eval([]bool{a, b})
+		orInv := OR2.Eval([]bool{!a, !b})
+		nor := NOR2.Eval([]bool{a, b})
+		andInv := AND2.Eval([]bool{!a, !b})
+		return nand == orInv && nor == andInv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: XOR2 == INV(XNOR2), AOI21 == INV(a&b | c), OAI21 == INV((a|b)&c).
+func TestComplementProperty(t *testing.T) {
+	f := func(a, b, c bool) bool {
+		if XOR2.Eval([]bool{a, b}) == XNOR2.Eval([]bool{a, b}) {
+			return false
+		}
+		if AOI21.Eval([]bool{a, b, c}) != !((a && b) || c) {
+			return false
+		}
+		return OAI21.Eval([]bool{a, b, c}) == !((a || b) && c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRazorAreaLargerThanFF(t *testing.T) {
+	if RazorFFArea <= FFArea {
+		t.Fatalf("RazorFFArea %v must exceed FFArea %v", RazorFFArea, FFArea)
+	}
+	if RazorFFEnergyOverhead <= 0 || RazorFFEnergyOverhead >= 1 {
+		t.Fatalf("RazorFFEnergyOverhead %v out of (0,1)", RazorFFEnergyOverhead)
+	}
+}

@@ -1,0 +1,115 @@
+package gpgpu
+
+import (
+	"testing"
+
+	"synts/internal/isa"
+)
+
+func TestProgramsGenerate(t *testing.T) {
+	ps := Programs(200, 1)
+	if len(ps) < 6 {
+		t.Fatalf("only %d programs", len(ps))
+	}
+	seen := map[string]bool{}
+	for _, p := range ps {
+		if len(p.Insts) == 0 {
+			t.Errorf("%s: empty program", p.Name)
+		}
+		if seen[p.Name] {
+			t.Errorf("duplicate program name %s", p.Name)
+		}
+		seen[p.Name] = true
+		for _, vi := range p.Insts {
+			if !vi.Op.Valid() {
+				t.Fatalf("%s: invalid op", p.Name)
+			}
+		}
+	}
+}
+
+func TestProgramByName(t *testing.T) {
+	if _, err := ProgramByName("MatrixMult", 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ProgramByName("nope", 10, 1); err == nil {
+		t.Fatal("unknown program must error")
+	}
+}
+
+func TestProgramsDeterministic(t *testing.T) {
+	a := Programs(100, 7)
+	b := Programs(100, 7)
+	for i := range a {
+		if len(a[i].Insts) != len(b[i].Insts) {
+			t.Fatalf("%s: nondeterministic length", a[i].Name)
+		}
+		for j := range a[i].Insts {
+			if a[i].Insts[j] != b[i].Insts[j] {
+				t.Fatalf("%s inst %d differs", a[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestLaneOutputsLockStep(t *testing.T) {
+	p, err := ProgramByName("MatrixMult", 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs := LaneOutputs(p)
+	for l := 0; l < LaneCount; l++ {
+		if len(outs[l]) != len(p.Insts) {
+			t.Fatalf("lane %d has %d outputs, want %d", l, len(outs[l]), len(p.Insts))
+		}
+	}
+	// Spot-check lane semantics against the ISA reference.
+	vi := p.Insts[0]
+	if vi.Op.Class() == isa.ClassSimple {
+		want := isa.ALUResult(vi.Op, vi.A[3], vi.B[3])
+		if outs[3][0] != want {
+			t.Fatalf("lane 3 inst 0 = %#x, want %#x", outs[3][0], want)
+		}
+	}
+}
+
+// The §5.5 result: all lanes' Hamming-distance histograms are near
+// identical, and per-lane error probabilities are tightly clustered —
+// homogeneity, so per-core TS suffices on this architecture.
+func TestLanesAreHomogeneous(t *testing.T) {
+	for _, p := range Programs(400, 42) {
+		h := Analyze(p)
+		if h.MaxPairDistance > 0.35 {
+			t.Errorf("%s: lane Hamming histograms diverge: L1 distance %.3f", p.Name, h.MaxPairDistance)
+		}
+		if h.ErrSpread > 0.06 {
+			t.Errorf("%s: per-lane error probabilities spread %.3f, expected homogeneous", p.Name, h.ErrSpread)
+		}
+	}
+}
+
+func TestHammingHistogramsShape(t *testing.T) {
+	p, _ := ProgramByName("BlackScholes", 300, 1)
+	hs := HammingHistograms(p)
+	for l, h := range hs {
+		if h.Total != len(p.Insts)-1 {
+			t.Fatalf("lane %d histogram total = %d", l, h.Total)
+		}
+	}
+}
+
+func TestLaneErrBounds(t *testing.T) {
+	p, _ := ProgramByName("FFT", 200, 1)
+	errs := LaneErr(p, 0.64)
+	for l, e := range errs {
+		if e < 0 || e > 1 {
+			t.Fatalf("lane %d err = %v", l, e)
+		}
+	}
+	one := LaneErr(p, 1.0)
+	for l, e := range one {
+		if e != 0 {
+			t.Fatalf("lane %d err at r=1 must be 0, got %v", l, e)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+// Package isa defines the miniature RISC instruction set whose encodings
+// drive the Decode pipe-stage netlist and whose dynamic instruction streams
+// drive the ALU stages.
+//
+// The paper extracts cycle-by-cycle input vectors from gem5 running Alpha
+// binaries. We substitute a compact 32-bit RISC encoding: the workload
+// kernels emit these instructions as they execute, and each stage's input
+// vector is derived from them (the Decode stage sees the encoded word, the
+// ALU stages see the operand values).
+//
+// Word layout (little-endian bit numbering):
+//
+//	[31:26] opcode
+//	[25:21] rd
+//	[20:16] rs
+//	[15:11] rt     (R-format)
+//	[15:0]  imm16  (I-format)
+package isa
+
+import "fmt"
+
+// Op is an operation code.
+type Op uint8
+
+// Operation codes. The SimpleALU class covers ADD..SHR (and their immediate
+// forms share the adder); MUL/MAC are the ComplexALU class; LD/ST/branches
+// exercise Decode and the memory system.
+const (
+	NOP Op = iota
+	ADD
+	SUB
+	AND
+	OR
+	XOR
+	SLT
+	SHL
+	SHR
+	ADDI
+	MUL
+	MAC
+	LD
+	ST
+	BEQ
+	BNE
+	JMP
+	numOps
+)
+
+var opNames = [numOps]string{
+	"NOP", "ADD", "SUB", "AND", "OR", "XOR", "SLT", "SHL", "SHR",
+	"ADDI", "MUL", "MAC", "LD", "ST", "BEQ", "BNE", "JMP",
+}
+
+// NumOps is the number of defined operations.
+const NumOps = int(numOps)
+
+// String returns the mnemonic.
+func (o Op) String() string {
+	if int(o) < len(opNames) {
+		return opNames[o]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined operation.
+func (o Op) Valid() bool { return o < numOps }
+
+// Class buckets operations by the pipe stage that executes them.
+type Class uint8
+
+// Instruction classes: which execution resource an op occupies.
+const (
+	ClassNone    Class = iota // NOP, JMP
+	ClassSimple               // SimpleALU: add/sub/logic/shift/compare (incl. address generation)
+	ClassComplex              // ComplexALU: multiply, multiply-accumulate
+	ClassMem                  // memory access (address generation on SimpleALU + cache)
+	ClassBranch               // branch compare on SimpleALU
+)
+
+// Class returns the execution class of the op.
+func (o Op) Class() Class {
+	switch o {
+	case ADD, SUB, AND, OR, XOR, SLT, SHL, SHR, ADDI:
+		return ClassSimple
+	case MUL, MAC:
+		return ClassComplex
+	case LD, ST:
+		return ClassMem
+	case BEQ, BNE:
+		return ClassBranch
+	default:
+		return ClassNone
+	}
+}
+
+// Inst is a dynamic instruction: the executed operation together with its
+// register fields and the operand *values* observed at execute time. The
+// values are what sensitise paths in the ALU netlists.
+type Inst struct {
+	Op     Op
+	Rd     uint8  // destination register (0..31)
+	Rs     uint8  // first source register
+	Rt     uint8  // second source register / store data register
+	Imm    uint16 // immediate (I-format ops)
+	A, B   uint32 // source operand values at execute
+	C      uint32 // third operand (MAC accumulator / store data)
+	Addr   uint32 // effective address (LD/ST)
+	Result uint32 // architectural result (for output-trace analyses)
+}
+
+// Encode packs the static fields into the 32-bit instruction word that the
+// Decode stage receives.
+func Encode(in Inst) uint32 {
+	w := uint32(in.Op&0x3f) << 26
+	w |= uint32(in.Rd&0x1f) << 21
+	w |= uint32(in.Rs&0x1f) << 16
+	switch in.Op {
+	case ADDI, LD, ST, BEQ, BNE, JMP:
+		w |= uint32(in.Imm)
+	default:
+		w |= uint32(in.Rt&0x1f) << 11
+	}
+	return w
+}
+
+// Decode unpacks an instruction word into its static fields. Operand values
+// are, of course, not recoverable from the encoding.
+func Decode(w uint32) Inst {
+	in := Inst{
+		Op: Op(w >> 26 & 0x3f),
+		Rd: uint8(w >> 21 & 0x1f),
+		Rs: uint8(w >> 16 & 0x1f),
+	}
+	switch in.Op {
+	case ADDI, LD, ST, BEQ, BNE, JMP:
+		in.Imm = uint16(w)
+	default:
+		in.Rt = uint8(w >> 11 & 0x1f)
+	}
+	return in
+}
+
+// ALUResult computes the architectural result of a SimpleALU-class op on
+// 32-bit operands, mirroring the SimpleALU netlist semantics (logical
+// shifts, signed SLT).
+func ALUResult(op Op, a, b uint32) uint32 {
+	switch op {
+	case ADD, ADDI:
+		return a + b
+	case SUB:
+		return a - b
+	case AND:
+		return a & b
+	case OR:
+		return a | b
+	case XOR:
+		return a ^ b
+	case SLT:
+		if int32(a) < int32(b) {
+			return 1
+		}
+		return 0
+	case SHL:
+		return a << (b & 31)
+	case SHR:
+		return a >> (b & 31)
+	default:
+		panic("isa: ALUResult called with non-SimpleALU op " + op.String())
+	}
+}

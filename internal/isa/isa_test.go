@@ -1,0 +1,117 @@
+package isa
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOpStringsAndValidity(t *testing.T) {
+	for op := Op(0); op < Op(NumOps); op++ {
+		if !op.Valid() {
+			t.Errorf("%d should be valid", op)
+		}
+		if op.String() == "" {
+			t.Errorf("op %d has empty mnemonic", op)
+		}
+	}
+	if Op(NumOps).Valid() {
+		t.Error("out-of-range op reported valid")
+	}
+	if Op(200).String() == "" {
+		t.Error("out-of-range op must still render")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	cases := map[Op]Class{
+		NOP: ClassNone, JMP: ClassNone,
+		ADD: ClassSimple, SUB: ClassSimple, AND: ClassSimple, OR: ClassSimple,
+		XOR: ClassSimple, SLT: ClassSimple, SHL: ClassSimple, SHR: ClassSimple,
+		ADDI: ClassSimple,
+		MUL:  ClassComplex, MAC: ClassComplex,
+		LD: ClassMem, ST: ClassMem,
+		BEQ: ClassBranch, BNE: ClassBranch,
+	}
+	if len(cases) != NumOps {
+		t.Fatalf("class table covers %d of %d ops", len(cases), NumOps)
+	}
+	for op, want := range cases {
+		if got := op.Class(); got != want {
+			t.Errorf("%v.Class() = %v, want %v", op, got, want)
+		}
+	}
+}
+
+func TestEncodeFieldPlacement(t *testing.T) {
+	w := Encode(Inst{Op: ADD, Rd: 0x1f, Rs: 0x15, Rt: 0x0a})
+	if w>>26 != uint32(ADD) {
+		t.Errorf("opcode field = %#x", w>>26)
+	}
+	if w>>21&0x1f != 0x1f {
+		t.Errorf("rd field = %#x", w>>21&0x1f)
+	}
+	if w>>16&0x1f != 0x15 {
+		t.Errorf("rs field = %#x", w>>16&0x1f)
+	}
+	if w>>11&0x1f != 0x0a {
+		t.Errorf("rt field = %#x", w>>11&0x1f)
+	}
+	// I-format: imm occupies the low half.
+	w = Encode(Inst{Op: ADDI, Imm: 0xBEEF})
+	if uint16(w) != 0xBEEF {
+		t.Errorf("imm field = %#x", uint16(w))
+	}
+}
+
+func TestDecodeIsEncodeInverse(t *testing.T) {
+	f := func(opRaw, rd, rs, rt uint8, imm uint16) bool {
+		in := Inst{Op: Op(opRaw % uint8(NumOps)), Rd: rd & 31, Rs: rs & 31, Rt: rt & 31, Imm: imm}
+		out := Decode(Encode(in))
+		if out.Op != in.Op || out.Rd != in.Rd || out.Rs != in.Rs {
+			return false
+		}
+		switch in.Op {
+		case ADDI, LD, ST, BEQ, BNE, JMP:
+			return out.Imm == in.Imm && out.Rt == 0
+		default:
+			return out.Rt == in.Rt && out.Imm == 0
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestALUResultMatchesGo(t *testing.T) {
+	f := func(a, b uint32) bool {
+		if ALUResult(ADD, a, b) != a+b {
+			return false
+		}
+		if ALUResult(SUB, a, b) != a-b {
+			return false
+		}
+		if ALUResult(AND, a, b) != a&b || ALUResult(OR, a, b) != a|b || ALUResult(XOR, a, b) != a^b {
+			return false
+		}
+		slt := uint32(0)
+		if int32(a) < int32(b) {
+			slt = 1
+		}
+		if ALUResult(SLT, a, b) != slt {
+			return false
+		}
+		return ALUResult(SHL, a, b) == a<<(b&31) && ALUResult(SHR, a, b) == a>>(b&31)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestALUResultPanicsOnNonSimple(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MUL through ALUResult did not panic")
+		}
+	}()
+	ALUResult(MUL, 1, 2)
+}

@@ -1,0 +1,97 @@
+package milp
+
+import (
+	"math/rand"
+	"testing"
+
+	"synts/internal/core"
+)
+
+// The LP relaxation lower-bounds the integer optimum — the invariant the
+// branch-and-bound pruning relies on.
+func TestRelaxationLowerBoundsMILP(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	c := milpTestConfig()
+	for trial := 0; trial < 10; trial++ {
+		ths := make([]core.Thread, 2)
+		for i := range ths {
+			ths[i] = core.Thread{
+				N:       500 + rng.Float64()*2000,
+				CPIBase: 1 + rng.Float64(),
+				Err:     core.ConstErr(0.7+rng.Float64()*0.3, rng.Float64()*0.25),
+			}
+		}
+		p := BuildSynTS(c, ths, 1)
+		_, relaxObj, err := p.SolveLP()
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, intObj, err := p.Solve()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if relaxObj > intObj+1e-6 {
+			t.Fatalf("trial %d: relaxation %v above integer optimum %v", trial, relaxObj, intObj)
+		}
+	}
+}
+
+// Adding a constraint can only worsen (raise) the optimum of a minimisation.
+func TestMonotoneUnderConstraintsProperty(t *testing.T) {
+	base := &Problem{
+		C: []float64{-3, -2, -4},
+		A: [][]float64{{1, 1, 1}, {2, 0, 1}},
+		B: []float64{10, 8},
+	}
+	_, obj1, err := base.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tightened := &Problem{
+		C: base.C,
+		A: append(append([][]float64{}, base.A...), []float64{0, 1, 1}),
+		B: append(append([]float64{}, base.B...), 3),
+	}
+	_, obj2, err := tightened.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj2 < obj1-1e-9 {
+		t.Fatalf("tightened LP improved the optimum: %v -> %v", obj1, obj2)
+	}
+}
+
+func TestDegenerateEqualityPair(t *testing.T) {
+	// x = 2 expressed as x <= 2 and -x <= -2; min -x must be -2.
+	p := &Problem{
+		C: []float64{-1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{2, -2},
+	}
+	x, obj, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != -2 || x[0] != 2 {
+		t.Fatalf("x = %v, obj = %v", x, obj)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// A pure feasibility problem: any feasible point, objective 0.
+	p := &Problem{
+		C: []float64{0, 0},
+		A: [][]float64{{1, 1}, {-1, -1}},
+		B: []float64{5, -3}, // 3 <= x+y <= 5
+	}
+	x, obj, err := p.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if obj != 0 {
+		t.Fatalf("obj = %v", obj)
+	}
+	if s := x[0] + x[1]; s < 3-1e-9 || s > 5+1e-9 {
+		t.Fatalf("infeasible point %v", x)
+	}
+}

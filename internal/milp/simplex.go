@@ -1,0 +1,340 @@
+// Package milp implements a small exact mixed-integer linear program
+// solver — a dense two-phase primal simplex with Bland's rule under a
+// best-first branch-and-bound — together with the SynTS-MILP model builder
+// (Eqs. 4.5–4.10).
+//
+// The thesis feeds SynTS-MILP to "a standard MILP solver" to obtain the
+// offline-optimal configurations; this package is that substitute solver.
+// Instances are tiny (M·Q·S binaries plus one continuous variable), so a
+// textbook implementation with Bland's anti-cycling rule is entirely
+// adequate and lets the test suite verify that SynTS-Poly, the MILP and
+// exhaustive search all agree.
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Problem is a linear program in inequality form:
+//
+//	minimise    C·x
+//	subject to  A x <= B,  x >= 0
+//
+// Variables flagged in Integer are additionally constrained to {0, 1} by
+// Solve (branch and bound); SolveLP ignores the flags (LP relaxation with
+// 0 <= x <= 1 bounds added for integer variables).
+type Problem struct {
+	C       []float64
+	A       [][]float64
+	B       []float64
+	Integer []bool
+}
+
+// Validate checks dimensional consistency.
+func (p *Problem) Validate() error {
+	n := len(p.C)
+	if n == 0 {
+		return errors.New("milp: no variables")
+	}
+	if len(p.A) != len(p.B) {
+		return fmt.Errorf("milp: %d constraint rows but %d bounds", len(p.A), len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return fmt.Errorf("milp: row %d has %d coefficients, want %d", i, len(row), n)
+		}
+	}
+	if p.Integer != nil && len(p.Integer) != n {
+		return fmt.Errorf("milp: Integer mask has %d entries, want %d", len(p.Integer), n)
+	}
+	return nil
+}
+
+const eps = 1e-9
+
+// ErrInfeasible is returned when no assignment satisfies the constraints.
+var ErrInfeasible = errors.New("milp: infeasible")
+
+// ErrUnbounded is returned when the objective decreases without bound.
+var ErrUnbounded = errors.New("milp: unbounded")
+
+// solveLPRows solves min c·x s.t. rows (a, b) as <=, x >= 0, using the
+// two-phase simplex. Returns the optimal x and objective.
+func solveLPRows(c []float64, a [][]float64, b []float64) ([]float64, float64, error) {
+	n := len(c)
+	m := len(a)
+	// Build the phase-1 tableau. Columns: n structural + m slack/surplus +
+	// up to m artificial + 1 rhs.
+	needArt := make([]bool, m)
+	nArt := 0
+	for i := range a {
+		if b[i] < -eps {
+			needArt[i] = true
+			nArt++
+		}
+	}
+	cols := n + m + nArt
+	t := make([][]float64, m+1) // last row = objective
+	for i := range t {
+		t[i] = make([]float64, cols+1)
+	}
+	basis := make([]int, m)
+	art := 0
+	for i := 0; i < m; i++ {
+		sign := 1.0
+		if needArt[i] {
+			sign = -1.0 // negate the row so rhs >= 0
+		}
+		for j := 0; j < n; j++ {
+			t[i][j] = sign * a[i][j]
+		}
+		t[i][n+i] = sign // slack (or surplus after negation)
+		t[i][cols] = sign * b[i]
+		if needArt[i] {
+			t[i][n+m+art] = 1
+			basis[i] = n + m + art
+			art++
+		} else {
+			basis[i] = n + i
+		}
+	}
+
+	pivot := func(row, col int) {
+		pv := t[row][col]
+		for j := 0; j <= cols; j++ {
+			t[row][j] /= pv
+		}
+		for i := 0; i <= m; i++ {
+			if i == row {
+				continue
+			}
+			f := t[i][col]
+			if f == 0 {
+				continue
+			}
+			for j := 0; j <= cols; j++ {
+				t[i][j] -= f * t[row][j]
+			}
+		}
+		basis[row] = col
+	}
+
+	// runSimplex optimises the current objective row (t[m]) over columns
+	// [0, lim). Bland's rule: smallest eligible index enters/leaves.
+	runSimplex := func(lim int) error {
+		for iter := 0; ; iter++ {
+			if iter > 200000 {
+				return errors.New("milp: simplex iteration limit")
+			}
+			col := -1
+			for j := 0; j < lim; j++ {
+				if t[m][j] < -eps {
+					col = j
+					break
+				}
+			}
+			if col == -1 {
+				return nil // optimal
+			}
+			row, best := -1, math.Inf(1)
+			for i := 0; i < m; i++ {
+				if t[i][col] > eps {
+					ratio := t[i][cols] / t[i][col]
+					if ratio < best-eps || (math.Abs(ratio-best) <= eps && (row == -1 || basis[i] < basis[row])) {
+						best, row = ratio, i
+					}
+				}
+			}
+			if row == -1 {
+				return ErrUnbounded
+			}
+			pivot(row, col)
+		}
+	}
+
+	if nArt > 0 {
+		// Phase 1: minimise sum of artificials.
+		for j := 0; j <= cols; j++ {
+			t[m][j] = 0
+		}
+		for j := n + m; j < cols; j++ {
+			t[m][j] = 1
+		}
+		// Price out the basic artificials.
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+m {
+				for j := 0; j <= cols; j++ {
+					t[m][j] -= t[i][j]
+				}
+			}
+		}
+		if err := runSimplex(cols); err != nil {
+			return nil, 0, err
+		}
+		if -t[m][cols] > 1e-6 {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive any artificial still in the basis out (degenerate rows).
+		for i := 0; i < m; i++ {
+			if basis[i] >= n+m {
+				done := false
+				for j := 0; j < n+m && !done; j++ {
+					if math.Abs(t[i][j]) > eps {
+						pivot(i, j)
+						done = true
+					}
+				}
+				// If the row is all zeros it is redundant; leave it.
+			}
+		}
+	}
+
+	// Phase 2: original objective over structural + slack columns.
+	for j := 0; j <= cols; j++ {
+		t[m][j] = 0
+	}
+	for j := 0; j < n; j++ {
+		t[m][j] = c[j]
+	}
+	for i := 0; i < m; i++ {
+		bj := basis[i]
+		if bj < n && c[bj] != 0 {
+			f := c[bj]
+			for j := 0; j <= cols; j++ {
+				t[m][j] -= f * t[i][j]
+			}
+		}
+	}
+	if err := runSimplex(n + m); err != nil {
+		return nil, 0, err
+	}
+	x := make([]float64, n)
+	for i := 0; i < m; i++ {
+		if basis[i] < n {
+			x[basis[i]] = t[i][cols]
+		}
+	}
+	obj := 0.0
+	for j := 0; j < n; j++ {
+		obj += c[j] * x[j]
+	}
+	return x, obj, nil
+}
+
+// SolveLP solves the LP relaxation of the problem (integer variables are
+// bounded to [0, 1] but allowed to be fractional).
+func (p *Problem) SolveLP() ([]float64, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	a, b := p.A, p.B
+	for j, isInt := range p.Integer {
+		if !isInt {
+			continue
+		}
+		row := make([]float64, len(p.C))
+		row[j] = 1
+		a = append(a, row)
+		b = append(b, 1)
+	}
+	return solveLPRows(p.C, a, b)
+}
+
+// Solve finds an optimal mixed {0,1}-integer solution by best-first branch
+// and bound over the LP relaxation.
+func (p *Problem) Solve() ([]float64, float64, error) {
+	if err := p.Validate(); err != nil {
+		return nil, 0, err
+	}
+	type node struct {
+		fixed map[int]float64
+		bound float64
+	}
+	relax := func(fixed map[int]float64) ([]float64, float64, error) {
+		a, b := p.A, p.B
+		for j, isInt := range p.Integer {
+			if !isInt {
+				continue
+			}
+			row := make([]float64, len(p.C))
+			row[j] = 1
+			a = append(a, row)
+			b = append(b, 1)
+		}
+		for j, v := range fixed {
+			up := make([]float64, len(p.C))
+			up[j] = 1
+			a = append(a, up)
+			b = append(b, v)
+			dn := make([]float64, len(p.C))
+			dn[j] = -1
+			a = append(a, dn)
+			b = append(b, -v)
+		}
+		return solveLPRows(p.C, a, b)
+	}
+
+	bestObj := math.Inf(1)
+	var bestX []float64
+	stack := []node{{fixed: map[int]float64{}}}
+	expansions := 0
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if nd.bound >= bestObj-1e-9 && bestX != nil {
+			continue
+		}
+		x, obj, err := relax(nd.fixed)
+		if errors.Is(err, ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		if obj >= bestObj-1e-9 && bestX != nil {
+			continue
+		}
+		// Find the most fractional integer variable.
+		frac, fj := 0.0, -1
+		for j, isInt := range p.Integer {
+			if !isInt {
+				continue
+			}
+			f := math.Abs(x[j] - math.Round(x[j]))
+			if f > frac+1e-7 {
+				frac, fj = f, j
+			}
+		}
+		if fj == -1 {
+			// Integral: candidate incumbent (round off numerical fuzz).
+			if obj < bestObj {
+				bestObj = obj
+				bestX = append([]float64(nil), x...)
+				for j, isInt := range p.Integer {
+					if isInt {
+						bestX[j] = math.Round(bestX[j])
+					}
+				}
+			}
+			continue
+		}
+		expansions++
+		if expansions > 100000 {
+			return nil, 0, errors.New("milp: branch-and-bound node limit")
+		}
+		for _, v := range []float64{1, 0} { // try x=1 first: assignment problems
+			f := make(map[int]float64, len(nd.fixed)+1)
+			for k, vv := range nd.fixed {
+				f[k] = vv
+			}
+			f[fj] = v
+			stack = append(stack, node{fixed: f, bound: obj})
+		}
+	}
+	if bestX == nil {
+		return nil, 0, ErrInfeasible
+	}
+	return bestX, bestObj, nil
+}

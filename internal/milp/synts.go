@@ -1,0 +1,103 @@
+package milp
+
+import (
+	"fmt"
+	"math"
+
+	"synts/internal/core"
+)
+
+// BuildSynTS constructs the SynTS-MILP instance of Eqs. 4.5–4.10 for the
+// given platform, threads and weight theta.
+//
+// Variables (in order): x_ijk for thread i, voltage j, TSR k — binaries set
+// to 1 when thread i runs at (V_j, R_k) — followed by the continuous t_exec.
+// The nonlinear products of the thesis' formulation are pre-evaluated into
+// constants en_ijk and t_ijk exactly as Eq. 4.9's x-gating implies, giving:
+//
+//	min  sum en_ijk x_ijk + theta * t_exec                      (4.5)
+//	s.t. sum_jk t_ijk x_ijk - t_exec <= 0        for each i      (4.6–4.8)
+//	     sum_jk x_ijk  = 1                       for each i      (4.10)
+//	     x binary, t_exec >= 0
+func BuildSynTS(c *core.Config, threads []core.Thread, theta float64) *Problem {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	m := len(threads)
+	q, s := len(c.Voltages), len(c.TSRs)
+	nx := m * q * s
+	n := nx + 1 // + t_exec
+	xi := func(i, j, k int) int { return i*q*s + j*s + k }
+
+	p := &Problem{
+		C:       make([]float64, n),
+		Integer: make([]bool, n),
+	}
+	for i, th := range threads {
+		for j, v := range c.Voltages {
+			for k, r := range c.TSRs {
+				p.C[xi(i, j, k)] = c.ThreadEnergy(th, v, r)
+				p.Integer[xi(i, j, k)] = true
+			}
+		}
+	}
+	p.C[nx] = theta
+
+	for i, th := range threads {
+		// Eq 4.6: thread i's time minus t_exec <= 0.
+		row := make([]float64, n)
+		for j, v := range c.Voltages {
+			for k, r := range c.TSRs {
+				row[xi(i, j, k)] = th.N * c.SPI(th, v, r)
+			}
+		}
+		row[nx] = -1
+		p.A = append(p.A, row)
+		p.B = append(p.B, 0)
+
+		// Eq 4.10 as a pair of inequalities.
+		one := make([]float64, n)
+		for j := 0; j < q; j++ {
+			for k := 0; k < s; k++ {
+				one[xi(i, j, k)] = 1
+			}
+		}
+		p.A = append(p.A, one)
+		p.B = append(p.B, 1)
+		neg := make([]float64, n)
+		for j := range one {
+			neg[j] = -one[j]
+		}
+		p.A = append(p.A, neg)
+		p.B = append(p.B, -1)
+	}
+	return p
+}
+
+// SolveSynTS builds and solves SynTS-MILP, returning the assignment in the
+// same form as the core solvers along with its metrics.
+func SolveSynTS(c *core.Config, threads []core.Thread, theta float64) (core.Assignment, core.Metrics, error) {
+	p := BuildSynTS(c, threads, theta)
+	x, _, err := p.Solve()
+	if err != nil {
+		return core.Assignment{}, core.Metrics{}, fmt.Errorf("milp: SynTS-MILP: %w", err)
+	}
+	m := len(threads)
+	q, s := len(c.Voltages), len(c.TSRs)
+	a := core.Assignment{VIdx: make([]int, m), RIdx: make([]int, m)}
+	for i := 0; i < m; i++ {
+		found := false
+		for j := 0; j < q && !found; j++ {
+			for k := 0; k < s && !found; k++ {
+				if math.Round(x[i*q*s+j*s+k]) == 1 {
+					a.VIdx[i], a.RIdx[i] = j, k
+					found = true
+				}
+			}
+		}
+		if !found {
+			return core.Assignment{}, core.Metrics{}, fmt.Errorf("milp: thread %d has no level selected", i)
+		}
+	}
+	return a, c.Evaluate(threads, a, theta), nil
+}

@@ -1,0 +1,116 @@
+package netlist
+
+import (
+	"synts/internal/gates"
+
+	"synts/internal/isa"
+)
+
+// NewDecode generates the Decode pipe-stage netlist. Its single input bus
+// "instr" (32 bits) is the encoded instruction word from the isa package;
+// its outputs are the control signals a classic five-stage pipeline derives
+// in its decode stage:
+//
+//	"onehot"   one bit per defined opcode (full 6->NumOps decode plane)
+//	"ctrl"     bit0 regWrite, bit1 memRead, bit2 memWrite, bit3 branch,
+//	           bit4 useImm, bit5 isSimple, bit6 isComplex
+//	"aluop"    3-bit SimpleALU operation select
+//	"imm"      32-bit sign-extended immediate
+//	"rseqrt"   rs == rt field comparator (hazard/forwarding detect)
+//	"btarget"  PC + sign-extended immediate: the branch/jump target the ID
+//	           stage computes early (the classic MIPS-style target adder)
+//
+// The circuit is an AND-plane (opcode one-hot) feeding OR-planes (control
+// signals), plus sign extension, a field comparator and the target adder.
+// The adder dominates the STA period; its deep carries are sensitised only
+// when the incrementing PC or a changing displacement propagates long
+// carries, so — like the ALU stages — the critical path manifests rarely
+// while the control planes switch mid-distribution. The sensitised profile
+// therefore depends on the thread's instruction mix and immediate patterns.
+func NewDecode() *Netlist {
+	b := NewBuilder("decode")
+	instr := b.InputBusN("instr", 32)
+	pc := b.InputBusN("pc", 32)
+	bit := instr.Nets
+
+	// Opcode literals and their complements, buffered once.
+	opBits := bit[26:32] // 6 bits
+	nOp := make([]Net, 6)
+	for i, t := range opBits {
+		nOp[i] = b.Gate(gates.INV, t)
+	}
+	lit := func(i int, v bool) Net {
+		if v {
+			return opBits[i]
+		}
+		return nOp[i]
+	}
+
+	// One-hot decode for every defined opcode.
+	onehot := make([]Net, isa.NumOps)
+	for op := 0; op < isa.NumOps; op++ {
+		terms := make([]Net, 6)
+		for i := 0; i < 6; i++ {
+			terms[i] = lit(i, op&(1<<uint(i)) != 0)
+		}
+		onehot[op] = andTree(b, terms)
+	}
+	oh := func(ops ...isa.Op) []Net {
+		ns := make([]Net, len(ops))
+		for i, o := range ops {
+			ns[i] = onehot[o]
+		}
+		return ns
+	}
+
+	// Control OR-planes.
+	regWrite := orTree(b, oh(isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.SLT, isa.SHL, isa.SHR, isa.ADDI, isa.MUL, isa.MAC, isa.LD))
+	memRead := b.Gate(gates.BUF, onehot[isa.LD])
+	memWrite := b.Gate(gates.BUF, onehot[isa.ST])
+	branch := b.Gate(gates.OR2, onehot[isa.BEQ], onehot[isa.BNE])
+	useImm := orTree(b, oh(isa.ADDI, isa.LD, isa.ST, isa.BEQ, isa.BNE, isa.JMP))
+	isSimple := orTree(b, oh(isa.ADD, isa.SUB, isa.AND, isa.OR, isa.XOR,
+		isa.SLT, isa.SHL, isa.SHR, isa.ADDI))
+	isComplex := b.Gate(gates.OR2, onehot[isa.MUL], onehot[isa.MAC])
+
+	// SimpleALU op select (matches the ALU* encodings in circuits.go):
+	// ADD/ADDI/LD/ST -> 000 (adder also does address generation)
+	// SUB/BEQ/BNE    -> 001 (branches compare via subtract)
+	// AND 010, OR 011, XOR 100, SLT 101, SHL 110, SHR 111.
+	aluop := []Net{
+		orTree(b, oh(isa.SUB, isa.BEQ, isa.BNE, isa.OR, isa.SLT, isa.SHR)), // bit0
+		orTree(b, oh(isa.AND, isa.OR, isa.SHL, isa.SHR)),                   // bit1
+		orTree(b, oh(isa.XOR, isa.SLT, isa.SHL, isa.SHR)),                  // bit2
+	}
+
+	// Sign-extended immediate. Low bits pass through buffers (so transitions
+	// register as decode activity); high bits replicate bit 15 gated by
+	// useImm (operand isolation: R-format words don't wiggle the imm bus).
+	imm := make([]Net, 32)
+	for i := 0; i < 16; i++ {
+		imm[i] = b.Gate(gates.AND2, bit[i], useImm)
+	}
+	signExt := b.Gate(gates.AND2, bit[15], useImm)
+	for i := 16; i < 32; i++ {
+		imm[i] = b.Gate(gates.BUF, signExt)
+	}
+
+	// rs == rt field comparator (XNOR reduce).
+	eqBits := make([]Net, 5)
+	for i := 0; i < 5; i++ {
+		eqBits[i] = b.Gate(gates.XNOR2, bit[16+i], bit[11+i])
+	}
+	rsEqRt := andTree(b, eqBits)
+
+	// Early branch/jump target: PC + sign-extended immediate.
+	btarget, _ := PrefixAdder(b, pc.Nets, imm, b.Const(false))
+
+	b.OutputBusN("btarget", btarget)
+	b.OutputBusN("onehot", onehot)
+	b.OutputBusN("ctrl", []Net{regWrite, memRead, memWrite, branch, useImm, isSimple, isComplex})
+	b.OutputBusN("aluop", aluop)
+	b.OutputBusN("imm", imm)
+	b.Output("rseqrt", rsEqRt)
+	return b.MustBuild()
+}

@@ -1,0 +1,77 @@
+package razor
+
+import (
+	"fmt"
+
+	"synts/internal/trace"
+)
+
+// Joint multi-stage analysis. The thesis characterises Decode, SimpleALU
+// and ComplexALU independently ("the analysis is performed for" each pipe
+// stage); in a real Razor pipeline every in-flight instruction can be
+// flagged by any stage's shadow latch, so the per-instruction error
+// probability composes across stages. This file quantifies that
+// composition: JointReplay counts an error whenever *any* stage's
+// sensitized delay exceeds its own speculative period, which is exact
+// (per-instruction correlation included), and IndependentUpperBound gives
+// the p = 1 - prod(1 - p_s) approximation a per-stage analysis would
+// predict under independence.
+
+// JointResult reports the composed error behaviour of one window.
+type JointResult struct {
+	Instructions int
+	Errors       int     // instructions flagged by at least one stage
+	StageErrors  []int   // per-stage flag counts (an instruction can appear in several)
+	Independent  float64 // 1 - prod(1 - p_stage): the independence prediction
+}
+
+// ErrorRate returns the exact joint per-instruction error probability.
+func (r JointResult) ErrorRate() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Instructions)
+}
+
+// JointReplay composes the per-stage delay traces of the *same* instruction
+// window at TSR r. All profiles must describe the same window (equal N, in
+// program order); each stage uses its own TCrit.
+func JointReplay(profiles []*trace.Profile, r float64) (JointResult, error) {
+	if len(profiles) == 0 {
+		return JointResult{}, fmt.Errorf("razor: no stage profiles")
+	}
+	n := len(profiles[0].Delays)
+	for _, p := range profiles[1:] {
+		if len(p.Delays) != n {
+			return JointResult{}, fmt.Errorf("razor: stage windows differ in length: %d vs %d", len(p.Delays), n)
+		}
+	}
+	res := JointResult{Instructions: n, StageErrors: make([]int, len(profiles))}
+	for i := 0; i < n; i++ {
+		flagged := false
+		for s, p := range profiles {
+			if p.Delays[i] > r*p.TCrit {
+				res.StageErrors[s]++
+				flagged = true
+			}
+		}
+		if flagged {
+			res.Errors++
+		}
+	}
+	// Independence prediction from the same window's marginals.
+	ind := 1.0
+	for s := range profiles {
+		ps := float64(res.StageErrors[s]) / float64(maxIntJ(n, 1))
+		ind *= 1 - ps
+	}
+	res.Independent = 1 - ind
+	return res, nil
+}
+
+func maxIntJ(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

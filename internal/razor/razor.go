@@ -1,0 +1,167 @@
+// Package razor models the error detection and recovery machinery that
+// makes timing speculation safe: Razor-style shadow-latch flip-flops whose
+// comparator flags any pipe-stage output still switching at the clock edge,
+// triggering a C_penalty-cycle pipeline replay (Fig 1.1, [1][6]).
+//
+// Two roles in the reproduction:
+//
+//   - Replay is the cycle-level reference simulation used to validate the
+//     analytic SPI model of Eq. 4.1 (the solvers use the equation; this
+//     package shows the equation matches a faithful replay).
+//   - SamplingEstimator implements the online sampling phase (§4.3): the
+//     first N_samp instructions of a barrier interval run in S slots, one
+//     per TSR level, and the per-slot Razor error counts become the
+//     estimated error probability function fed to SynTS-Poly.
+package razor
+
+import (
+	"fmt"
+
+	"synts/internal/core"
+	"synts/internal/trace"
+)
+
+// Result summarises a cycle-level replay.
+type Result struct {
+	Instructions int
+	Errors       int
+	Cycles       float64 // issue cycles + recovery cycles (excludes memory stalls)
+}
+
+// ErrorRate returns the per-instruction timing-error probability observed.
+func (r Result) ErrorRate() float64 {
+	if r.Instructions == 0 {
+		return 0
+	}
+	return float64(r.Errors) / float64(r.Instructions)
+}
+
+// Replay runs a window of per-instruction sensitized delays through a
+// Razor pipeline clocked at tclk (same units as the delays, i.e. the
+// speculative period r * TCrit at the reference voltage). Each instruction
+// issues in one cycle; an instruction whose stage output settles after the
+// clock edge is caught by the shadow latch and costs cPenalty extra cycles.
+func Replay(delays []float64, tclk float64, cPenalty float64) Result {
+	if tclk <= 0 {
+		panic(fmt.Sprintf("razor: non-positive clock period %v", tclk))
+	}
+	res := Result{Instructions: len(delays)}
+	for _, d := range delays {
+		res.Cycles++
+		if d > tclk {
+			res.Errors++
+			res.Cycles += cPenalty
+		}
+	}
+	return res
+}
+
+// ReplayProfile replays one thread's whole interval at TSR r and returns
+// both the observed result and the analytic cycles from Eq. 4.1 for
+// comparison (base CPI added in both).
+func ReplayProfile(p *trace.Profile, r float64, cPenalty float64) (Result, float64) {
+	res := Replay(p.Delays, r*p.TCrit, cPenalty)
+	// Memory-stall cycles from the cache model apply identically in both.
+	stall := (p.CPIBase - 1) * float64(p.N)
+	res.Cycles += stall
+	analytic := float64(p.N) * (p.Err(r)*cPenalty + p.CPIBase)
+	return res, analytic
+}
+
+// SamplingGranule is the number of consecutive instructions executed at one
+// TSR level before the sampling controller rotates to the next. The paper
+// assigns each level N_samp/S instructions; interleaving them as short
+// granules spread across the whole sampling window (instead of S long
+// contiguous slots) keeps every level's estimate aligned with the same mix
+// of loop phases — contiguous slots alias against loop periods at small
+// N_samp. A clock divider off the shared fast PLL switches ratios at
+// granule boundaries.
+const SamplingGranule = 8
+
+// SamplingEstimator builds a core.ErrEstimator over one barrier interval's
+// per-thread profiles. Thread i's first min(nSamp, N) instructions are
+// split evenly across the TSR levels (Fig 4.7), rotating level every
+// SamplingGranule instructions; level k's error counter replays at tsrs[k].
+// The per-level rates are made monotone (non-increasing in r) by pooling,
+// since sampling noise can otherwise invert neighbouring levels.
+func SamplingEstimator(profiles []*trace.Profile, tsrs []float64, nSamp int, cPenalty float64) core.ErrEstimator {
+	return SamplingEstimatorGranule(profiles, tsrs, nSamp, cPenalty, SamplingGranule)
+}
+
+// SamplingEstimatorGranule is SamplingEstimator with an explicit rotation
+// granule, used by the granularity ablation: granule >= nSamp degenerates
+// to the contiguous-slot schedule of Fig 4.7.
+func SamplingEstimatorGranule(profiles []*trace.Profile, tsrs []float64, nSamp int, cPenalty float64, granule int) core.ErrEstimator {
+	budgets := make([]int, len(profiles))
+	for i := range budgets {
+		budgets[i] = nSamp
+	}
+	return SamplingEstimatorBudgets(profiles, tsrs, budgets, cPenalty, granule)
+}
+
+// SamplingEstimatorBudgets is the general form with a per-thread sampling
+// budget. With strongly imbalanced barrier intervals (a panel-owner thread
+// executing 100x the instructions of its siblings) a single N_samp either
+// starves the big threads' estimates or over-samples the small ones; the
+// per-thread-fraction policy the experiment drivers use passes
+// budgets[i] = frac * N_i here.
+func SamplingEstimatorBudgets(profiles []*trace.Profile, tsrs []float64, budgets []int, cPenalty float64, granule int) core.ErrEstimator {
+	if len(budgets) != len(profiles) {
+		panic(fmt.Sprintf("razor: %d budgets for %d profiles", len(budgets), len(profiles)))
+	}
+	if granule <= 0 {
+		panic("razor: non-positive sampling granule")
+	}
+	s := len(tsrs)
+	if s == 0 {
+		panic("razor: no TSR levels to sample")
+	}
+	// Precompute all rates so the estimator closure is cheap and pure.
+	rates := make([][]float64, len(profiles))
+	for i, p := range profiles {
+		rates[i] = make([]float64, s)
+		n := budgets[i]
+		if n < 0 {
+			panic("razor: negative sampling budget")
+		}
+		if n > len(p.Delays) {
+			n = len(p.Delays)
+		}
+		errs := make([]int, s)
+		counts := make([]int, s)
+		for g := 0; g*granule < n; g++ {
+			k := g % s
+			lo := g * granule
+			hi := lo + granule
+			if hi > n {
+				hi = n
+			}
+			res := Replay(p.Delays[lo:hi], tsrs[k]*p.TCrit, cPenalty)
+			errs[k] += res.Errors
+			counts[k] += res.Instructions
+		}
+		for k := 0; k < s; k++ {
+			if counts[k] > 0 {
+				rates[i][k] = float64(errs[k]) / float64(counts[k])
+			}
+		}
+		// Isotonic pooling: error probability cannot increase with r.
+		for k := s - 2; k >= 0; k-- {
+			if rates[i][k] < rates[i][k+1] {
+				rates[i][k] = rates[i][k+1]
+			}
+		}
+	}
+	return func(thread, rIdx int) float64 {
+		return rates[thread][rIdx]
+	}
+}
+
+// PerfectEstimator returns an estimator that reports the true error
+// probabilities — the offline oracle, used to isolate estimation error from
+// sampling-phase overhead in the online evaluation.
+func PerfectEstimator(profiles []*trace.Profile, tsrs []float64) core.ErrEstimator {
+	return func(thread, rIdx int) float64 {
+		return profiles[thread].Err(tsrs[rIdx])
+	}
+}

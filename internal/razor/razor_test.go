@@ -1,0 +1,167 @@
+package razor
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"synts/internal/cpu"
+	"synts/internal/trace"
+	"synts/internal/workload"
+)
+
+func TestReplayCountsErrors(t *testing.T) {
+	delays := []float64{10, 50, 90, 130}
+	res := Replay(delays, 100, 5)
+	if res.Instructions != 4 {
+		t.Fatalf("instructions = %d", res.Instructions)
+	}
+	if res.Errors != 1 {
+		t.Fatalf("errors = %d, want 1 (only the 130 delay)", res.Errors)
+	}
+	if res.Cycles != 4+5 {
+		t.Fatalf("cycles = %v, want 9", res.Cycles)
+	}
+	if got := res.ErrorRate(); got != 0.25 {
+		t.Fatalf("error rate = %v", got)
+	}
+}
+
+func TestReplayBoundaryIsSafe(t *testing.T) {
+	// A delay exactly equal to the clock period latches correctly.
+	res := Replay([]float64{100}, 100, 5)
+	if res.Errors != 0 {
+		t.Fatal("delay == tclk must not be an error")
+	}
+}
+
+func TestReplayEmptyAndPanics(t *testing.T) {
+	if r := Replay(nil, 100, 5); r.Cycles != 0 || r.ErrorRate() != 0 {
+		t.Fatal("empty replay must be all zeros")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-positive tclk did not panic")
+		}
+	}()
+	Replay([]float64{1}, 0, 5)
+}
+
+// The load-bearing consistency check: the replay's observed error rate at
+// ratio r equals Profile.Err(r) exactly (both count delays > r*TCrit), so
+// the analytic Eq. 4.1 cycles match the cycle-level simulation exactly.
+func TestReplayMatchesAnalyticSPI(t *testing.T) {
+	k, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 4, 1, 9)
+	profs, err := trace.BuildProfiles(streams, trace.SimpleALU, cpu.DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ths := range profs {
+		for _, p := range ths {
+			for _, r := range []float64{0.64, 0.8, 0.95, 1.0} {
+				res, analytic := ReplayProfile(p, r, 5)
+				if math.Abs(res.Cycles-analytic) > 1e-6*math.Max(analytic, 1) {
+					t.Fatalf("thread %d interval %d r=%v: replay %v cycles, Eq 4.1 %v",
+						p.Thread, p.Interval, r, res.Cycles, analytic)
+				}
+				if got, want := res.ErrorRate(), p.Err(r); math.Abs(got-want) > 1e-12 {
+					t.Fatalf("error rate %v != Err(%v) = %v", got, r, want)
+				}
+			}
+		}
+	}
+}
+
+func syntheticProfile(rng *rand.Rand, n int, tcrit float64) *trace.Profile {
+	delays := make([]float64, n)
+	for i := range delays {
+		delays[i] = rng.Float64() * tcrit
+	}
+	sorted := append([]float64(nil), delays...)
+	sort.Float64s(sorted)
+	return &trace.Profile{N: n, CPIBase: 1, TCrit: tcrit, Delays: delays, SortedDelays: sorted}
+}
+
+func TestSamplingEstimatorConvergesToTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	// Uniform delays: Err(r) = 1 - r, an easy truth to estimate.
+	p := syntheticProfile(rng, 60000, 100)
+	tsrs := []float64{0.64, 0.8, 1.0}
+	est := SamplingEstimator([]*trace.Profile{p}, tsrs, 60000, 5)
+	for k, r := range tsrs {
+		got := est(0, k)
+		want := 1 - r
+		if math.Abs(got-want) > 0.02 {
+			t.Errorf("estimated err at r=%v is %v, want ~%v", r, got, want)
+		}
+	}
+}
+
+func TestSamplingEstimatorUsesOnlyPrefix(t *testing.T) {
+	// First half of the trace error-free, second half always erring at
+	// r<1. Sampling only the first half must report ~0.
+	n := 1000
+	delays := make([]float64, n)
+	for i := n / 2; i < n; i++ {
+		delays[i] = 99
+	}
+	sorted := append([]float64(nil), delays...)
+	sort.Float64s(sorted)
+	p := &trace.Profile{N: n, CPIBase: 1, TCrit: 100, Delays: delays, SortedDelays: sorted}
+	est := SamplingEstimator([]*trace.Profile{p}, []float64{0.5, 1.0}, n/2, 5)
+	if got := est(0, 0); got != 0 {
+		t.Fatalf("prefix-only sampling must see no errors, got %v", got)
+	}
+}
+
+func TestSamplingEstimatorShortInterval(t *testing.T) {
+	// NSamp larger than the interval: clamp, don't panic.
+	rng := rand.New(rand.NewSource(6))
+	p := syntheticProfile(rng, 30, 100)
+	est := SamplingEstimator([]*trace.Profile{p}, []float64{0.5, 0.75, 1.0}, 1000, 5)
+	for k := 0; k < 3; k++ {
+		if r := est(0, k); r < 0 || r > 1 {
+			t.Fatalf("rate out of range: %v", r)
+		}
+	}
+}
+
+func TestPerfectEstimator(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	p := syntheticProfile(rng, 1000, 100)
+	tsrs := []float64{0.7, 1.0}
+	est := PerfectEstimator([]*trace.Profile{p}, tsrs)
+	for k, r := range tsrs {
+		if est(0, k) != p.Err(r) {
+			t.Fatalf("perfect estimator must equal Err")
+		}
+	}
+}
+
+// Property: the sampling estimate is within a few points of the full-trace
+// truth for statistically stationary delay streams, and always identifies
+// the more error-prone of two threads (the "critical thread is always
+// identified" claim of §6.2).
+func TestSamplingIdentifiesCriticalThread(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 20; trial++ {
+		hot := syntheticProfile(rng, 8000, 100)
+		cold := syntheticProfile(rng, 8000, 100)
+		// Scale down the cold thread's delays so it errs less.
+		for i := range cold.Delays {
+			cold.Delays[i] *= 0.5
+		}
+		copy(cold.SortedDelays, cold.Delays)
+		sort.Float64s(cold.SortedDelays)
+		tsrs := []float64{0.64, 0.8, 1.0}
+		est := SamplingEstimator([]*trace.Profile{hot, cold}, tsrs, 800, 5)
+		if est(0, 0) <= est(1, 0) {
+			t.Fatalf("trial %d: sampling failed to identify the critical thread", trial)
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tbl := &Table{
+		Title:   "title",
+		Headers: []string{"name", "value"},
+	}
+	tbl.AddRow("short", 1.0)
+	tbl.AddRow("a-much-longer-name", 123.456)
+	var sb strings.Builder
+	tbl.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "title") {
+		t.Error("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, two rows
+		t.Fatalf("want 5 lines, got %d: %q", len(lines), out)
+	}
+}
+
+func TestTableRenderRows(t *testing.T) {
+	tbl := &Table{Headers: []string{"a"}}
+	tbl.AddRow(3.14159)
+	tbl.AddRow("x")
+	var sb strings.Builder
+	tbl.Render(&sb)
+	if !strings.Contains(sb.String(), "3.142") {
+		t.Errorf("float not rendered with %%.4g: %q", sb.String())
+	}
+}
+
+func TestSeriesAddValidates(t *testing.T) {
+	s := &Series{Title: "t", XLabel: "x", Names: []string{"a", "b"}}
+	s.Add(1, 2, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched Add did not panic")
+		}
+	}()
+	s.Add(2, 1)
+}
+
+func TestSeriesRender(t *testing.T) {
+	s := &Series{Title: "curve", XLabel: "r", Names: []string{"err"}}
+	s.Add(0.5, 0.25)
+	s.Add(1.0, 0.0)
+	var sb strings.Builder
+	s.Render(&sb)
+	out := sb.String()
+	for _, want := range []string{"curve", "r", "err", "0.25"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q: %q", want, out)
+		}
+	}
+}
+
+func TestBarGroupRender(t *testing.T) {
+	bg := &BarGroup{
+		Title:  "bars",
+		Groups: []string{"g1", "g2"},
+		Names:  []string{"a", "b"},
+		Values: [][]float64{{1, 2}, {3, 4}},
+	}
+	var sb strings.Builder
+	bg.Render(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "g1") || !strings.Contains(out, "####") {
+		t.Errorf("bar render incomplete: %q", out)
+	}
+}
+
+func TestBarGroupAllZeros(t *testing.T) {
+	bg := &BarGroup{Groups: []string{"g"}, Names: []string{"a"}, Values: [][]float64{{0}}}
+	var sb strings.Builder
+	bg.Render(&sb) // must not divide by zero
+	if sb.Len() == 0 {
+		t.Error("nothing rendered")
+	}
+}
+
+func TestTableWriteCSV(t *testing.T) {
+	tbl := &Table{Headers: []string{"a", "b"}}
+	tbl.AddRow(1.5, "x,y") // the comma must be quoted
+	var sb strings.Builder
+	if err := tbl.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1.5,\"x,y\"\n"
+	if sb.String() != want {
+		t.Fatalf("csv = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestSeriesWriteCSV(t *testing.T) {
+	s := &Series{XLabel: "r", Names: []string{"err"}}
+	s.Add(0.5, 0.25)
+	var sb strings.Builder
+	if err := s.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "r,err\n0.5,0.25\n" {
+		t.Fatalf("csv = %q", sb.String())
+	}
+}

@@ -1,0 +1,117 @@
+package timing
+
+import (
+	"math/rand"
+	"testing"
+
+	"synts/internal/gates"
+	"synts/internal/netlist"
+)
+
+// randomNetlist builds a random combinational DAG: nIn primary inputs, nG
+// gates whose inputs are drawn from already-created nets, and a handful of
+// randomly chosen outputs. Because the builder only allows references to
+// existing nets, any random choice is a valid topologically-ordered
+// circuit — ideal fuzz fodder.
+func randomNetlist(rng *rand.Rand, nIn, nG int) *netlist.Netlist {
+	b := netlist.NewBuilder("fuzz")
+	nets := make([]netlist.Net, 0, nIn+nG)
+	in := b.InputBusN("in", nIn)
+	nets = append(nets, in.Nets...)
+	kinds := []gates.Kind{
+		gates.BUF, gates.INV, gates.AND2, gates.OR2, gates.NAND2, gates.NOR2,
+		gates.XOR2, gates.XNOR2, gates.NAND3, gates.NOR3, gates.AND3,
+		gates.OR3, gates.MUX2, gates.AOI21, gates.OAI21,
+	}
+	for g := 0; g < nG; g++ {
+		k := kinds[rng.Intn(len(kinds))]
+		args := make([]netlist.Net, k.NumInputs())
+		for i := range args {
+			args[i] = nets[rng.Intn(len(nets))]
+		}
+		nets = append(nets, b.Gate(k, args...))
+	}
+	// Outputs: bias toward late nets so paths are deep.
+	nOut := 1 + rng.Intn(4)
+	outs := make([]netlist.Net, nOut)
+	for i := range outs {
+		outs[i] = nets[len(nets)-1-rng.Intn(len(nets)/2)]
+	}
+	b.OutputBusN("out", outs)
+	return b.MustBuild()
+}
+
+// The cross-validation invariants, on 40 random circuits x 30 vectors:
+//   - levelized analyzer values == functional Eval values == event-driven
+//     final values (three independent evaluators agree),
+//   - both delay models stay within [0, STA critical path],
+//   - an unchanged input vector produces delay 0 in both models.
+func TestRandomNetlistCrossValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2016))
+	for trial := 0; trial < 40; trial++ {
+		nIn := 2 + rng.Intn(6)
+		n := randomNetlist(rng, nIn, 10+rng.Intn(60))
+		crit := NewAnalyzer(n).CriticalPath()
+		lv := NewAnalyzer(n)
+		ev := NewEventSim(n)
+		ref := make([]bool, n.NumNets())
+
+		in := make([]bool, nIn)
+		lv.Reset(in)
+		ev.Reset(in)
+		for step := 0; step < 30; step++ {
+			for i := range in {
+				if rng.Intn(3) == 0 {
+					in[i] = !in[i]
+				}
+			}
+			dl := lv.Step(in)
+			de := ev.Step(in)
+			if dl < 0 || dl > crit+1e-9 {
+				t.Fatalf("trial %d step %d: levelized delay %v outside [0, %v]", trial, step, dl, crit)
+			}
+			if de < 0 || de > crit+1e-9 {
+				t.Fatalf("trial %d step %d: event delay %v outside [0, %v]", trial, step, de, crit)
+			}
+			ref = n.Eval(in, ref)
+			for net := 0; net < n.NumNets(); net++ {
+				if lv.Values()[net] != ref[net] {
+					t.Fatalf("trial %d step %d: levelized net %d = %v, Eval says %v",
+						trial, step, net, lv.Values()[net], ref[net])
+				}
+				if ev.Values()[net] != ref[net] {
+					t.Fatalf("trial %d step %d: event net %d = %v, Eval says %v",
+						trial, step, net, ev.Values()[net], ref[net])
+				}
+			}
+		}
+		// Idle vector: both models must report 0.
+		if dl := lv.Step(in); dl != 0 {
+			t.Fatalf("trial %d: idle levelized delay %v", trial, dl)
+		}
+		if de := ev.Step(in); de != 0 {
+			t.Fatalf("trial %d: idle event delay %v", trial, de)
+		}
+	}
+}
+
+// STA on a random circuit must upper-bound the settle time of an
+// exhaustive toggle of every single input (the classic one-hot transition
+// sweep used to spot missed paths).
+func TestRandomNetlistSTABoundsOneHotSweep(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 15; trial++ {
+		nIn := 3 + rng.Intn(5)
+		n := randomNetlist(rng, nIn, 20+rng.Intn(40))
+		crit := NewAnalyzer(n).CriticalPath()
+		ev := NewEventSim(n)
+		in := make([]bool, nIn)
+		ev.Reset(in)
+		for bit := 0; bit < nIn; bit++ {
+			in[bit] = !in[bit]
+			if d := ev.Step(in); d > crit+1e-9 {
+				t.Fatalf("trial %d: one-hot toggle of input %d settles at %v > STA %v", trial, bit, d, crit)
+			}
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package trace turns workload instruction streams into per-pipe-stage
+// sensitized-delay traces and empirical error-probability functions — the
+// cross-layer step of the methodology (Fig 5.8): architectural simulation
+// produces cycle-by-cycle stage input vectors, circuit-level timing
+// analysis turns them into per-instruction path delays, and the fraction of
+// instructions whose delay exceeds r * t_nom is the error probability at
+// timing-speculation ratio r.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"synts/internal/core"
+	"synts/internal/cpu"
+	"synts/internal/isa"
+	"synts/internal/netlist"
+	"synts/internal/timing"
+	"synts/internal/workload"
+)
+
+// Stage identifies one of the three analysed pipe stages.
+type Stage int
+
+// The analysed pipe stages (§5.3).
+const (
+	Decode Stage = iota
+	SimpleALU
+	ComplexALU
+)
+
+var stageNames = [...]string{"Decode", "SimpleALU", "ComplexALU"}
+
+// String returns the stage name as the thesis spells it.
+func (s Stage) String() string {
+	if int(s) < len(stageNames) {
+		return stageNames[s]
+	}
+	return fmt.Sprintf("Stage(%d)", int(s))
+}
+
+// Stages lists all three analysed stages.
+func Stages() []Stage { return []Stage{Decode, SimpleALU, ComplexALU} }
+
+// StageCircuit couples a stage's netlist with its bus layout and STA
+// critical path, and knows how to translate an instruction into the
+// stage's input vector.
+type StageCircuit struct {
+	Stage   Stage
+	Netlist *netlist.Netlist
+	TCrit   float64 // STA critical path, ps at nominal voltage
+
+	in      []bool // scratch input vector
+	pc      uint32 // synthetic program counter (Decode stage)
+	opBus   netlist.Bus
+	aBus    netlist.Bus
+	bBus    netlist.Bus
+	cBus    netlist.Bus
+	instBus netlist.Bus
+	pcBus   netlist.Bus
+}
+
+var (
+	circuitCacheMu sync.Mutex
+	circuitCache   = map[Stage]*StageCircuit{}
+)
+
+// NewStageCircuit builds (or returns a cached copy of) the netlist for a
+// stage. The returned value contains per-call scratch state and must not be
+// shared across goroutines; call NewStageCircuit in each goroutine.
+func NewStageCircuit(s Stage) *StageCircuit {
+	circuitCacheMu.Lock()
+	base, ok := circuitCache[s]
+	if !ok {
+		base = buildStage(s)
+		circuitCache[s] = base
+	}
+	circuitCacheMu.Unlock()
+	// Shallow copy sharing the immutable netlist; private scratch.
+	sc := *base
+	sc.in = make([]bool, len(sc.Netlist.Inputs))
+	return &sc
+}
+
+func buildStage(s Stage) *StageCircuit {
+	sc := &StageCircuit{Stage: s}
+	switch s {
+	case Decode:
+		sc.Netlist = netlist.NewDecode()
+		sc.instBus = sc.Netlist.InputBus("instr")
+		sc.pcBus = sc.Netlist.InputBus("pc")
+	case SimpleALU:
+		sc.Netlist = netlist.NewSimpleALU(32)
+		sc.opBus = sc.Netlist.InputBus("op")
+		sc.aBus = sc.Netlist.InputBus("a")
+		sc.bBus = sc.Netlist.InputBus("b")
+	case ComplexALU:
+		sc.Netlist = netlist.NewComplexALU(32)
+		sc.opBus = sc.Netlist.InputBus("op")
+		sc.aBus = sc.Netlist.InputBus("a")
+		sc.bBus = sc.Netlist.InputBus("b")
+		sc.cBus = sc.Netlist.InputBus("c")
+	default:
+		panic("trace: unknown stage " + s.String())
+	}
+	sc.TCrit = timing.NewAnalyzer(sc.Netlist).CriticalPath()
+	return sc
+}
+
+// aluOpFor maps an ISA op to the SimpleALU op-select encoding, mirroring
+// the Decode stage's control plane.
+func aluOpFor(op isa.Op) uint64 {
+	switch op {
+	case isa.ADD, isa.ADDI, isa.LD, isa.ST:
+		return netlist.ALUAdd
+	case isa.SUB, isa.BEQ, isa.BNE:
+		return netlist.ALUSub
+	case isa.AND:
+		return netlist.ALUAnd
+	case isa.OR:
+		return netlist.ALUOr
+	case isa.XOR:
+		return netlist.ALUXor
+	case isa.SLT:
+		return netlist.ALUSlt
+	case isa.SHL:
+		return netlist.ALUShl
+	case isa.SHR:
+		return netlist.ALUShr
+	default:
+		panic("trace: no SimpleALU encoding for " + op.String())
+	}
+}
+
+// Drives reports whether an instruction produces new input activity at this
+// stage. Instructions that do not drive a stage leave its operand latches
+// unchanged (operand isolation) and therefore cannot cause a timing error
+// there.
+func (sc *StageCircuit) Drives(in isa.Inst) bool {
+	switch sc.Stage {
+	case Decode:
+		return true // every instruction is decoded
+	case SimpleALU:
+		switch in.Op.Class() {
+		case isa.ClassSimple, isa.ClassMem, isa.ClassBranch:
+			return true
+		}
+		return false
+	case ComplexALU:
+		return in.Op.Class() == isa.ClassComplex
+	}
+	return false
+}
+
+// Vector fills the stage input vector for an instruction. It must only be
+// called when Drives(in) is true.
+func (sc *StageCircuit) Vector(in isa.Inst) []bool {
+	n := sc.Netlist
+	switch sc.Stage {
+	case Decode:
+		n.SetBusUint(sc.in, sc.instBus, uint64(isa.Encode(in)))
+		// Fetch-path model: the PC advances one word per instruction and
+		// jumps on taken branches (recorded in Result by the workload
+		// runtime), so the target adder sees both incremental carries and
+		// the discontinuities of a thread's real control flow.
+		if in.Op.Class() == isa.ClassBranch && in.Result == 1 {
+			sc.pc += uint32(int32(int16(in.Imm))) * 4
+		} else {
+			sc.pc += 4
+		}
+		n.SetBusUint(sc.in, sc.pcBus, uint64(0x0040_0000+sc.pc))
+	case SimpleALU:
+		n.SetBusUint(sc.in, sc.opBus, aluOpFor(in.Op))
+		a, b := in.A, in.B
+		if in.Op.Class() == isa.ClassMem {
+			// Address generation: base + sign-extended displacement.
+			b = uint32(int32(int16(in.Imm)))
+			a = in.Addr - b
+		}
+		n.SetBusUint(sc.in, sc.aBus, uint64(a))
+		n.SetBusUint(sc.in, sc.bBus, uint64(b))
+	case ComplexALU:
+		op := uint64(0)
+		if in.Op == isa.MAC {
+			op = 1
+		}
+		n.SetBusUint(sc.in, sc.opBus, op)
+		n.SetBusUint(sc.in, sc.aBus, uint64(in.A))
+		n.SetBusUint(sc.in, sc.bBus, uint64(in.B))
+		n.SetBusUint(sc.in, sc.cBus, uint64(in.C))
+	}
+	return sc.in
+}
+
+// DelayTrace computes the sensitized delay of every instruction in the
+// window. Instructions that do not drive the stage hold its inputs and get
+// delay 0. The analyzer state persists across the whole window, so
+// back-to-back instructions see realistic previous-vector transitions.
+func (sc *StageCircuit) DelayTrace(iv []isa.Inst) []float64 {
+	an := timing.NewAnalyzer(sc.Netlist)
+	delays := make([]float64, len(iv))
+	primed := false
+	for i, in := range iv {
+		if !sc.Drives(in) {
+			continue // delay 0: inputs held
+		}
+		vec := sc.Vector(in)
+		if !primed {
+			an.Reset(vec) // first driving vector establishes state
+			primed = true
+			continue
+		}
+		delays[i] = an.Step(vec)
+	}
+	return delays
+}
+
+// Profile is the per-thread, per-barrier-interval characterisation that
+// feeds the SynTS solvers: instruction count, baseline CPI and the
+// empirical error-probability function.
+type Profile struct {
+	Thread   int
+	Interval int
+	N        int
+	CPIBase  float64
+	TCrit    float64
+	// Delays holds each instruction's sensitized delay in program order —
+	// what a Razor pipeline replay (or the online sampling phase) consumes.
+	Delays []float64
+	// SortedDelays is the same data ascending, for O(log n) Err lookups.
+	SortedDelays []float64
+}
+
+// Err returns the empirical error probability at TSR r: the fraction of
+// the interval's instructions whose sensitized delay exceeds r * TCrit.
+// It is non-increasing in r and exactly 0 at r = 1.
+func (p *Profile) Err(r float64) float64 {
+	if p.N == 0 || len(p.SortedDelays) == 0 {
+		return 0
+	}
+	limit := r * p.TCrit
+	// Count delays strictly greater than limit.
+	idx := sort.SearchFloat64s(p.SortedDelays, limit)
+	for idx < len(p.SortedDelays) && p.SortedDelays[idx] <= limit {
+		idx++
+	}
+	return float64(len(p.SortedDelays)-idx) / float64(p.N)
+}
+
+// CoreThread adapts the profile to the solver's Thread type.
+func (p *Profile) CoreThread() core.Thread {
+	return core.Thread{N: float64(p.N), CPIBase: p.CPIBase, Err: p.Err}
+}
+
+// MaxDelay returns the largest sensitized delay observed (0 if none).
+func (p *Profile) MaxDelay() float64 {
+	if len(p.SortedDelays) == 0 {
+		return 0
+	}
+	return p.SortedDelays[len(p.SortedDelays)-1]
+}
+
+// BuildProfiles characterises every thread and barrier interval of a
+// workload for one stage, running threads in parallel. Each thread gets a
+// private cache (one core per thread) that stays warm across intervals.
+// The result is indexed [thread][interval].
+func BuildProfiles(streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig) ([][]*Profile, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("trace: no streams")
+	}
+	out := make([][]*Profile, len(streams))
+	errs := make([]error, len(streams))
+	var wg sync.WaitGroup
+	for t, s := range streams {
+		wg.Add(1)
+		go func(t int, s *workload.Stream) {
+			defer wg.Done()
+			sc := NewStageCircuit(stage)
+			cache, err := cpu.NewCache(cacheCfg)
+			if err != nil {
+				errs[t] = err
+				return
+			}
+			out[t] = make([]*Profile, len(s.Intervals))
+			for ii, iv := range s.Intervals {
+				delays := sc.DelayTrace(iv)
+				sorted := append([]float64(nil), delays...)
+				sort.Float64s(sorted)
+				cpiRes := cpu.MeasureCPI(iv, cache)
+				out[t][ii] = &Profile{
+					Thread:       t,
+					Interval:     ii,
+					N:            len(iv),
+					CPIBase:      cpiRes.CPI,
+					TCrit:        sc.TCrit,
+					Delays:       delays,
+					SortedDelays: sorted,
+				}
+			}
+		}(t, s)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// IntervalThreads transposes profiles to [interval][thread] and adapts them
+// for the solvers, which work one barrier interval at a time (Eq. 4.2).
+func IntervalThreads(profiles [][]*Profile) [][]core.Thread {
+	if len(profiles) == 0 {
+		return nil
+	}
+	nIv := len(profiles[0])
+	out := make([][]core.Thread, nIv)
+	for ii := 0; ii < nIv; ii++ {
+		out[ii] = make([]core.Thread, len(profiles))
+		for t := range profiles {
+			out[ii][t] = profiles[t][ii].CoreThread()
+		}
+	}
+	return out
+}

@@ -1,0 +1,245 @@
+package trace
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"synts/internal/cpu"
+	"synts/internal/isa"
+	"synts/internal/workload"
+)
+
+func TestStageCircuitsBuild(t *testing.T) {
+	var crits []float64
+	for _, s := range Stages() {
+		sc := NewStageCircuit(s)
+		if sc.Netlist == nil {
+			t.Fatalf("%v: nil netlist", s)
+		}
+		if sc.TCrit <= 0 {
+			t.Fatalf("%v: TCrit = %v", s, sc.TCrit)
+		}
+		crits = append(crits, sc.TCrit)
+	}
+	// Decode is the shallowest circuit, ComplexALU the deepest.
+	if !(crits[0] < crits[1] && crits[1] < crits[2]) {
+		t.Errorf("TCrit ordering: decode %v, simple %v, complex %v", crits[0], crits[1], crits[2])
+	}
+}
+
+func TestStageCircuitCaching(t *testing.T) {
+	a := NewStageCircuit(SimpleALU)
+	b := NewStageCircuit(SimpleALU)
+	if a.Netlist != b.Netlist {
+		t.Error("stage circuits must share the cached netlist")
+	}
+	if &a.in[0] == &b.in[0] {
+		t.Error("stage circuits must not share scratch state")
+	}
+}
+
+func TestDrives(t *testing.T) {
+	dec := NewStageCircuit(Decode)
+	alu := NewStageCircuit(SimpleALU)
+	cpx := NewStageCircuit(ComplexALU)
+	cases := []struct {
+		op                isa.Op
+		dec, simple, cplx bool
+	}{
+		{isa.ADD, true, true, false},
+		{isa.MUL, true, false, true},
+		{isa.MAC, true, false, true},
+		{isa.LD, true, true, false},
+		{isa.BEQ, true, true, false},
+		{isa.NOP, true, false, false},
+		{isa.JMP, true, false, false},
+	}
+	for _, c := range cases {
+		in := isa.Inst{Op: c.op}
+		if got := dec.Drives(in); got != c.dec {
+			t.Errorf("%v drives Decode = %v, want %v", c.op, got, c.dec)
+		}
+		if got := alu.Drives(in); got != c.simple {
+			t.Errorf("%v drives SimpleALU = %v, want %v", c.op, got, c.simple)
+		}
+		if got := cpx.Drives(in); got != c.cplx {
+			t.Errorf("%v drives ComplexALU = %v, want %v", c.op, got, c.cplx)
+		}
+	}
+}
+
+func TestDelayTraceBasics(t *testing.T) {
+	sc := NewStageCircuit(SimpleALU)
+	iv := []isa.Inst{
+		{Op: isa.ADD, A: 0, B: 0},
+		{Op: isa.ADD, A: 0xFFFFFFFF, B: 1}, // full carry chain
+		{Op: isa.NOP},                      // holds inputs
+		{Op: isa.ADD, A: 0xFFFFFFFF, B: 1}, // identical vector: no transition
+	}
+	d := sc.DelayTrace(iv)
+	if len(d) != len(iv) {
+		t.Fatalf("delay count = %d", len(d))
+	}
+	if d[0] != 0 {
+		t.Errorf("first driving instruction primes the analyzer, delay must be 0, got %v", d[0])
+	}
+	if d[1] <= 0 || d[1] > sc.TCrit {
+		t.Errorf("carry-chain delay %v out of (0, TCrit=%v]", d[1], sc.TCrit)
+	}
+	if d[2] != 0 {
+		t.Errorf("NOP delay = %v, want 0", d[2])
+	}
+	if d[3] != 0 {
+		t.Errorf("repeated vector delay = %v, want 0", d[3])
+	}
+}
+
+func TestDelayTraceComplexALUOnlyMuls(t *testing.T) {
+	sc := NewStageCircuit(ComplexALU)
+	iv := []isa.Inst{
+		{Op: isa.MUL, A: 3, B: 5},
+		{Op: isa.ADD, A: 100, B: 200},
+		{Op: isa.MUL, A: 0xFFFF, B: 0xFFFF},
+	}
+	d := sc.DelayTrace(iv)
+	if d[1] != 0 {
+		t.Errorf("ADD must not disturb ComplexALU, delay %v", d[1])
+	}
+	if d[2] <= 0 {
+		t.Errorf("second MUL with new operands must have positive delay, got %v", d[2])
+	}
+}
+
+func randomInsts(rng *rand.Rand, n int, wide bool) []isa.Inst {
+	iv := make([]isa.Inst, n)
+	for i := range iv {
+		mask := uint32(0xFF)
+		if wide {
+			mask = 0xFFFFFFFF
+		}
+		iv[i] = isa.Inst{Op: isa.ADD, A: rng.Uint32() & mask, B: rng.Uint32() & mask}
+	}
+	return iv
+}
+
+func profileOf(t *testing.T, iv []isa.Inst, stage Stage) *Profile {
+	t.Helper()
+	sc := NewStageCircuit(stage)
+	d := sc.DelayTrace(iv)
+	sort.Float64s(d)
+	return &Profile{N: len(iv), TCrit: sc.TCrit, SortedDelays: d, CPIBase: 1}
+}
+
+func TestErrMonotoneAndZeroAtOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	p := profileOf(t, randomInsts(rng, 400, true), SimpleALU)
+	if got := p.Err(1); got != 0 {
+		t.Fatalf("Err(1) = %v, want 0", got)
+	}
+	prev := 0.0
+	for r := 1.0; r >= 0.3; r -= 0.05 {
+		e := p.Err(r)
+		if e < prev-1e-12 {
+			t.Fatalf("Err not non-increasing in r: Err(%v)=%v after %v", r, e, prev)
+		}
+		prev = e
+	}
+	if p.Err(0.3) == 0 {
+		t.Error("wide random operands at r=0.3 should produce some errors")
+	}
+}
+
+func TestWideOperandsErrMoreThanNarrow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	wide := profileOf(t, randomInsts(rng, 400, true), SimpleALU)
+	narrow := profileOf(t, randomInsts(rng, 400, false), SimpleALU)
+	r := 0.6
+	if wide.Err(r) <= narrow.Err(r) {
+		t.Errorf("wide-operand err %v must exceed narrow-operand err %v at r=%v",
+			wide.Err(r), narrow.Err(r), r)
+	}
+}
+
+func TestEmptyProfile(t *testing.T) {
+	p := &Profile{N: 0, TCrit: 100}
+	if p.Err(0.5) != 0 {
+		t.Error("empty profile must have zero error probability")
+	}
+	if p.MaxDelay() != 0 {
+		t.Error("empty profile MaxDelay must be 0")
+	}
+}
+
+func TestBuildProfilesEndToEnd(t *testing.T) {
+	k, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 4, 1, 42)
+	profs, err := BuildProfiles(streams, SimpleALU, cpu.DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 4 {
+		t.Fatalf("threads = %d", len(profs))
+	}
+	nIv := len(profs[0])
+	for tid, ps := range profs {
+		if len(ps) != nIv {
+			t.Fatalf("thread %d intervals = %d, want %d", tid, len(ps), nIv)
+		}
+		for _, p := range ps {
+			if p.N != len(streams[tid].Intervals[p.Interval]) {
+				t.Fatalf("profile N mismatch")
+			}
+			if p.CPIBase < 1 {
+				t.Fatalf("CPI %v < 1", p.CPIBase)
+			}
+			if p.MaxDelay() > p.TCrit {
+				t.Fatalf("delay above critical path")
+			}
+		}
+	}
+}
+
+// The thesis' central empirical claim, end to end: the radix thread owning
+// the large keys has a higher error probability under speculation than the
+// thread owning the small keys.
+func TestRadixHeterogeneityEndToEnd(t *testing.T) {
+	k, _ := workload.ByName("radix")
+	streams := workload.RunKernel(k, 4, 2, 42)
+	profs, err := BuildProfiles(streams, SimpleALU, cpu.DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compare cumulative error probability at an aggressive ratio over the
+	// first interval.
+	r := 0.7
+	e0 := profs[0][0].Err(r)
+	e3 := profs[3][0].Err(r)
+	if e0 <= e3 {
+		t.Errorf("radix: thread 0 Err(%v)=%v must exceed thread 3's %v", r, e0, e3)
+	}
+}
+
+func TestIntervalThreadsTranspose(t *testing.T) {
+	k, _ := workload.ByName("ocean")
+	streams := workload.RunKernel(k, 2, 1, 1)
+	profs, err := BuildProfiles(streams, Decode, cpu.DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := IntervalThreads(profs)
+	if len(ivs) != len(profs[0]) {
+		t.Fatalf("intervals = %d, want %d", len(ivs), len(profs[0]))
+	}
+	for ii := range ivs {
+		if len(ivs[ii]) != 2 {
+			t.Fatalf("interval %d threads = %d", ii, len(ivs[ii]))
+		}
+		if ivs[ii][1].N != float64(profs[1][ii].N) {
+			t.Fatalf("transpose mixed up N")
+		}
+	}
+}

@@ -1,0 +1,210 @@
+package workload
+
+// Tests that the kernels behave like the algorithms they claim to be —
+// the emitted operand streams are only as credible as the computations
+// behind them.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"synts/internal/cpu"
+	"synts/internal/isa"
+)
+
+func TestStableByDigitSortsEachDigit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	keys := make([]uint32, 500)
+	for i := range keys {
+		keys[i] = rng.Uint32()
+	}
+	orig := append([]uint32(nil), keys...)
+	stableByDigit(keys, 0)
+	// Sorted by low byte.
+	for i := 1; i < len(keys); i++ {
+		if keys[i-1]&0xFF > keys[i]&0xFF {
+			t.Fatalf("not sorted by digit at %d", i)
+		}
+	}
+	// Same multiset.
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	check := append([]uint32(nil), keys...)
+	sort.Slice(check, func(i, j int) bool { return check[i] < check[j] })
+	for i := range orig {
+		if orig[i] != check[i] {
+			t.Fatal("permutation lost keys")
+		}
+	}
+}
+
+func TestStableByDigitIsStable(t *testing.T) {
+	// Keys sharing a digit must keep their relative order.
+	keys := []uint32{0x0101, 0x0201, 0x0301, 0x0102, 0x0202}
+	stableByDigit(keys, 0)
+	want := []uint32{0x0101, 0x0201, 0x0301, 0x0102, 0x0202}
+	for i := range keys {
+		if keys[i] != want[i] {
+			t.Fatalf("stability violated: %#x at %d, want %#x", keys[i], i, want[i])
+		}
+	}
+}
+
+func TestStableByDigitFullSortProperty(t *testing.T) {
+	// Applying the passes LSB->MSB yields a totally sorted array: the
+	// defining property of LSD radix sort.
+	f := func(raw []uint32) bool {
+		keys := append([]uint32(nil), raw...)
+		for pass := 0; pass < 4; pass++ {
+			stableByDigit(keys, uint32(pass*8))
+		}
+		return sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitrevInvolutionProperty(t *testing.T) {
+	f := func(v uint16) bool {
+		x := uint32(v) & 0x3FF // 10 bits
+		return bitrev(bitrev(x, 10), 10) == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if bitrev(0b0000000001, 10) != 0b1000000000 {
+		t.Error("bitrev(1, 10) wrong")
+	}
+}
+
+// opHistogram counts ops per kind over all intervals of all threads.
+func opHistogram(streams []*Stream) map[isa.Op]int {
+	h := map[isa.Op]int{}
+	for _, s := range streams {
+		for _, iv := range s.Intervals {
+			for _, in := range iv {
+				h[in.Op]++
+			}
+		}
+	}
+	return h
+}
+
+func TestKernelInstructionMixes(t *testing.T) {
+	mustRun := func(name string) []*Stream {
+		k, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return RunKernel(k, 4, 1, 5)
+	}
+	radix := opHistogram(mustRun("radix"))
+	if radix[isa.MUL]+radix[isa.MAC] != 0 {
+		t.Error("radix sort must not multiply")
+	}
+	if radix[isa.SHR] == 0 || radix[isa.AND] == 0 {
+		t.Error("radix must extract digits with SHR+AND")
+	}
+	fft := opHistogram(mustRun("fft"))
+	if fft[isa.MUL] == 0 {
+		t.Error("fft butterflies must multiply")
+	}
+	chol := opHistogram(mustRun("cholesky"))
+	if chol[isa.MAC] == 0 {
+		t.Error("cholesky inner products must emit MAC")
+	}
+	for _, name := range FullSuite() {
+		h := opHistogram(mustRun(name))
+		if h[isa.LD] == 0 || h[isa.ST] == 0 {
+			t.Errorf("%s: kernels must access memory", name)
+		}
+		if h[isa.BNE]+h[isa.BEQ] == 0 {
+			t.Errorf("%s: kernels must branch", name)
+		}
+	}
+}
+
+func TestLUContigHasBetterLocality(t *testing.T) {
+	// The two LU variants run identical arithmetic; only the address
+	// streams differ. The contiguous layout must miss less in a small
+	// cache — that is the entire point of the pair.
+	missRate := func(name string) float64 {
+		k, _ := ByName(name)
+		streams := RunKernel(k, 4, 2, 5)
+		cache, err := cpu.NewCache(cpu.CacheConfig{Lines: 64, LineBytes: 64, MissPenalty: 20})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var misses, accesses int
+		for _, iv := range streams[0].Intervals {
+			res := cpu.MeasureCPI(iv, cache)
+			misses += res.Misses
+			accesses += res.Accesses
+		}
+		if accesses == 0 {
+			t.Fatalf("%s: no memory accesses", name)
+		}
+		return float64(misses) / float64(accesses)
+	}
+	contig := missRate("lu-contig")
+	ncontig := missRate("lu-ncontig")
+	if contig >= ncontig {
+		t.Errorf("contiguous layout must miss less: contig %.3f vs ncontig %.3f", contig, ncontig)
+	}
+}
+
+func TestLUVariantsSameArithmetic(t *testing.T) {
+	// Identical op histograms (addresses aside).
+	a := opHistogram(func() []*Stream { k, _ := ByName("lu-contig"); return RunKernel(k, 4, 1, 9) }())
+	b := opHistogram(func() []*Stream { k, _ := ByName("lu-ncontig"); return RunKernel(k, 4, 1, 9) }())
+	for op, n := range a {
+		if b[op] != n {
+			t.Errorf("op %v: contig %d vs ncontig %d", op, n, b[op])
+		}
+	}
+}
+
+func TestBarnesTreeBuildImbalance(t *testing.T) {
+	// Interval 0 is the tree build: thread 0 does essentially all of it.
+	k, _ := ByName("barnes")
+	streams := RunKernel(k, 4, 1, 5)
+	n0 := len(streams[0].Intervals[0])
+	for ti := 1; ti < 4; ti++ {
+		if n := len(streams[ti].Intervals[0]); n*10 > n0 {
+			t.Errorf("thread %d emits %d instructions during the build (T0: %d)", ti, n, n0)
+		}
+	}
+}
+
+func TestWaterIsBalanced(t *testing.T) {
+	k, _ := ByName("water-sp")
+	streams := RunKernel(k, 4, 1, 5)
+	for ii := range streams[0].Intervals {
+		lo, hi := 1<<30, 0
+		for _, s := range streams {
+			n := len(s.Intervals[ii])
+			if n < lo {
+				lo = n
+			}
+			if n > hi {
+				hi = n
+			}
+		}
+		if lo == 0 || float64(hi)/float64(lo) > 1.5 {
+			t.Errorf("water interval %d imbalanced: %d..%d", ii, lo, hi)
+		}
+	}
+}
+
+func TestFMMIsImbalanced(t *testing.T) {
+	// The clustered cells give thread 0 far more near-field work.
+	k, _ := ByName("fmm")
+	streams := RunKernel(k, 4, 1, 5)
+	n0 := streams[0].TotalInstructions()
+	n3 := streams[3].TotalInstructions()
+	if n0 < 2*n3 {
+		t.Errorf("fmm should be imbalanced: T0 %d vs T3 %d", n0, n3)
+	}
+}

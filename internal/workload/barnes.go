@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"math/rand"
+
+	"synts/internal/fixedpoint"
+)
+
+// Barnes: Barnes-Hut N-body with a shared quadtree. Thread 0 builds the
+// tree for the whole system (the load imbalance of the original's tree
+// phase), then all threads walk it to compute forces on their own bodies
+// with the standard opening criterion.
+//
+// Heterogeneity sources: thread 0's tree-build interval is pointer-chasing
+// integer arithmetic on node indices (narrow operands), while the force
+// intervals are wide fixed-point arithmetic; and the Plummer-like central
+// cluster gives the owner of the central bodies deeper tree walks.
+
+func init() {
+	register(Kernel{
+		Name:          "barnes",
+		Description:   "Barnes-Hut N-body, central cluster, shared quadtree (heterogeneous)",
+		Heterogeneous: true,
+		Make:          makeBarnes,
+	})
+}
+
+const (
+	barnesTreeBase uint32 = 0x8000_0000
+	barnesBodyBase uint32 = 0x8100_0000
+)
+
+type bhNode struct {
+	child      [4]int32 // -1 = empty; >= 0 index; leaf if body >= 0
+	body       int32
+	cx, cy, cm fixedpoint.Q // centre of mass
+	half       fixedpoint.Q // half side length
+	x, y       fixedpoint.Q // cell centre
+}
+
+type bhBody struct {
+	x, y, m fixedpoint.Q
+}
+
+func makeBarnes(threads, size int, seed int64) func(tc *TC) {
+	n := 24 * size * threads
+	rng := rand.New(rand.NewSource(seed))
+	bodies := make([]bhBody, n)
+	for i := range bodies {
+		// Central cluster: 60% of bodies packed near the origin; the
+		// first threads own them (bodies are index-partitioned).
+		var x, y float64
+		if i < n*6/10 {
+			x = (rng.Float64() - 0.5) * 8
+			y = (rng.Float64() - 0.5) * 8
+		} else {
+			x = (rng.Float64() - 0.5) * 120
+			y = (rng.Float64() - 0.5) * 120
+		}
+		bodies[i] = bhBody{fixedpoint.FromFloat(x), fixedpoint.FromFloat(y), fixedpoint.FromFloat(0.5 + rng.Float64())}
+	}
+	var tree []bhNode
+
+	return func(tc *TC) {
+		t := tc.ID()
+		p := tc.NumThreads()
+		if t == 0 {
+			// Tree build, instrumented: index arithmetic and comparisons.
+			tree = tree[:0]
+			tree = append(tree, bhNode{child: [4]int32{-1, -1, -1, -1}, body: -1,
+				half: fixedpoint.FromInt(64)})
+			for bi := range bodies {
+				insertBody(tc, &tree, int32(bi), bodies)
+			}
+			// Centre-of-mass pass (post-order accumulate).
+			computeMass(tc, tree, 0, bodies)
+		} else {
+			// Other threads idle through the build: the barrier-arrival
+			// imbalance of Fig 1.4.
+			tc.Loop(4, func(int) { tc.Nop() })
+		}
+		tc.Barrier()
+
+		// Force phase: each thread walks the shared tree for its own bodies.
+		per := n / p
+		lo, hi := t*per, (t+1)*per
+		if t == p-1 {
+			hi = n
+		}
+		theta2 := fixedpoint.FromFloat(0.25) // opening angle^2
+		for i := lo; i < hi; i++ {
+			walkForce(tc, tree, 0, bodies[i], theta2)
+			tc.Store(barnesBodyBase + uint32(i)*8)
+		}
+		tc.Barrier()
+	}
+}
+
+func quadrant(tc *TC, nd *bhNode, x, y fixedpoint.Q) int {
+	q := 0
+	if tc.Slt(uint32(nd.x), uint32(x)) == 1 {
+		q |= 1
+	}
+	if tc.Slt(uint32(nd.y), uint32(y)) == 1 {
+		q |= 2
+	}
+	return q
+}
+
+func insertBody(tc *TC, tree *[]bhNode, bi int32, bodies []bhBody) {
+	b := bodies[bi]
+	ni := int32(0)
+	for depth := 0; depth < 24; depth++ {
+		nd := &(*tree)[ni]
+		tc.Load(barnesTreeBase + uint32(ni)*32)
+		q := quadrant(tc, nd, b.x, b.y)
+		ch := nd.child[q]
+		if ch == -1 {
+			// Empty slot: place a leaf.
+			leaf := bhNode{child: [4]int32{-1, -1, -1, -1}, body: bi}
+			leaf.half = fixedpoint.Q(uint32(tc.Shr(uint32(nd.half), 1)))
+			leaf.x = childCentre(tc, nd.x, nd.half, q&1 == 1)
+			leaf.y = childCentre(tc, nd.y, nd.half, q&2 == 2)
+			*tree = append(*tree, leaf)
+			// Re-index: append may have moved the backing array.
+			(*tree)[ni].child[q] = int32(len(*tree) - 1)
+			tc.Store(barnesTreeBase + uint32(ni)*32)
+			return
+		}
+		child := &(*tree)[ch]
+		if child.body >= 0 {
+			// Occupied leaf: split it into an internal node, reinsert.
+			old := child.body
+			child.body = -1
+			ni = ch
+			// Re-descend with the old body first.
+			reinsert(tc, tree, ch, old, bodies)
+			continue
+		}
+		ni = ch
+	}
+	// Depth cap hit (coincident bodies): drop into the last node as-is.
+}
+
+func reinsert(tc *TC, tree *[]bhNode, ni int32, bi int32, bodies []bhBody) {
+	b := bodies[bi]
+	nd := &(*tree)[ni]
+	q := quadrant(tc, nd, b.x, b.y)
+	if nd.child[q] == -1 {
+		leaf := bhNode{child: [4]int32{-1, -1, -1, -1}, body: bi}
+		leaf.half = fixedpoint.Q(uint32(tc.Shr(uint32(nd.half), 1)))
+		leaf.x = childCentre(tc, nd.x, nd.half, q&1 == 1)
+		leaf.y = childCentre(tc, nd.y, nd.half, q&2 == 2)
+		*tree = append(*tree, leaf)
+		// Re-index: append may have moved the backing array.
+		(*tree)[ni].child[q] = int32(len(*tree) - 1)
+		return
+	}
+	// Collision during split: rare with random data; tolerate by leaving
+	// the old body at this internal node (mass pass handles body >= 0).
+	nd.body = bi
+}
+
+func childCentre(tc *TC, c, half fixedpoint.Q, hi bool) fixedpoint.Q {
+	quarterU := tc.Shr(uint32(half), 1)
+	if hi {
+		return fixedpoint.Q(tc.Add(uint32(c), quarterU))
+	}
+	return fixedpoint.Q(tc.Sub(uint32(c), quarterU))
+}
+
+func computeMass(tc *TC, tree []bhNode, ni int32, bodies []bhBody) (fixedpoint.Q, fixedpoint.Q, fixedpoint.Q) {
+	nd := &tree[ni]
+	var sx, sy, sm fixedpoint.Q
+	if nd.body >= 0 {
+		b := bodies[nd.body]
+		sx = tc.QMul(b.x, b.m)
+		sy = tc.QMul(b.y, b.m)
+		sm = b.m
+	}
+	for _, ch := range nd.child {
+		if ch < 0 {
+			continue
+		}
+		cx, cy, cm := computeMass(tc, tree, ch, bodies)
+		sx = tc.QAdd(sx, tc.QMul(cx, cm))
+		sy = tc.QAdd(sy, tc.QMul(cy, cm))
+		sm = tc.QAdd(sm, cm)
+	}
+	if sm != 0 {
+		nd.cx = tc.QDiv(sx, sm)
+		nd.cy = tc.QDiv(sy, sm)
+	}
+	nd.cm = sm
+	return nd.cx, nd.cy, sm
+}
+
+func walkForce(tc *TC, tree []bhNode, ni int32, b bhBody, theta2 fixedpoint.Q) (fx, fy fixedpoint.Q) {
+	nd := &tree[ni]
+	tc.Load(barnesTreeBase + uint32(ni)*32)
+	if nd.cm == 0 {
+		return 0, 0
+	}
+	dx := tc.QSub(nd.cx, b.x)
+	dy := tc.QSub(nd.cy, b.y)
+	r2 := tc.QAdd(tc.QAdd(tc.QMul(dx, dx), tc.QMul(dy, dy)), fixedpoint.FromFloat(0.1))
+	s2 := tc.QMul(nd.half, nd.half)
+	// Opening criterion: s^2 / r^2 < theta^2 -> treat as a point mass.
+	isLeaf := nd.child[0] < 0 && nd.child[1] < 0 && nd.child[2] < 0 && nd.child[3] < 0
+	if isLeaf || tc.Slt(uint32(s2), uint32(tc.QMul(theta2, r2))) == 1 {
+		f := tc.QDiv(nd.cm, r2)
+		return tc.QMul(f, dx), tc.QMul(f, dy)
+	}
+	for _, ch := range nd.child {
+		if ch < 0 {
+			continue
+		}
+		cfx, cfy := walkForce(tc, tree, ch, b, theta2)
+		fx = tc.QAdd(fx, cfx)
+		fy = tc.QAdd(fy, cfy)
+	}
+	return fx, fy
+}

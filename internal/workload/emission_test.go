@@ -1,0 +1,145 @@
+package workload
+
+import (
+	"testing"
+
+	"synts/internal/fixedpoint"
+	"synts/internal/isa"
+)
+
+// collect runs a single-thread body and returns the emitted ops.
+func collect(body func(tc *TC)) []isa.Inst {
+	streams := Run(1, 1, body)
+	var out []isa.Inst
+	for _, iv := range streams[0].Intervals {
+		out = append(out, iv...)
+	}
+	return out
+}
+
+func TestQDivEmitsSoftwareDivide(t *testing.T) {
+	iv := collect(func(tc *TC) {
+		got := tc.QDiv(fixedpoint.FromInt(10), fixedpoint.FromInt(4))
+		if got != fixedpoint.FromFloat(2.5) {
+			t.Errorf("QDiv = %v", got.Float())
+		}
+	})
+	var muls int
+	for _, in := range iv {
+		if in.Op == isa.MUL {
+			muls++
+		}
+	}
+	if muls < 3 {
+		t.Errorf("Newton reciprocal divide should emit several MULs, got %d", muls)
+	}
+}
+
+func TestQSqrtEmitsIterationsAndIsExact(t *testing.T) {
+	iv := collect(func(tc *TC) {
+		got := tc.QSqrt(fixedpoint.FromInt(9))
+		if got != fixedpoint.Sqrt(fixedpoint.FromInt(9)) {
+			t.Errorf("QSqrt = %v", got.Float())
+		}
+	})
+	if len(iv) < 6 {
+		t.Errorf("QSqrt should emit the Newton iteration stream, got %d instructions", len(iv))
+	}
+}
+
+func TestQMacMatchesQSubQMul(t *testing.T) {
+	a := fixedpoint.FromFloat(1.25)
+	b := fixedpoint.FromFloat(-2.5)
+	acc := fixedpoint.FromFloat(10)
+	var viaMac, viaMul fixedpoint.Q
+	collect(func(tc *TC) {
+		viaMac = tc.QMac(acc, a, b)
+		viaMul = tc.QAdd(acc, tc.QMul(a, b))
+	})
+	if viaMac != viaMul {
+		t.Fatalf("QMac %v != QAdd(QMul) %v", viaMac.Float(), viaMul.Float())
+	}
+}
+
+func TestRegisterFieldsRotate(t *testing.T) {
+	iv := collect(func(tc *TC) {
+		for i := 0; i < 40; i++ {
+			tc.Add(1, 2)
+		}
+	})
+	seen := map[uint8]bool{}
+	for _, in := range iv {
+		if in.Rd == 0 || in.Rd > 31 {
+			t.Fatalf("rd %d out of [1,31]", in.Rd)
+		}
+		seen[in.Rd] = true
+	}
+	if len(seen) < 20 {
+		t.Errorf("register allocation too static: %d distinct rd over 40 ops", len(seen))
+	}
+}
+
+func TestBranchRecordsOutcome(t *testing.T) {
+	iv := collect(func(tc *TC) {
+		if !tc.BranchEq(3, 3) {
+			t.Error("BranchEq(3,3) must be taken")
+		}
+		if tc.BranchNe(3, 3) {
+			t.Error("BranchNe(3,3) must not be taken")
+		}
+	})
+	if iv[0].Result != 1 {
+		t.Error("taken branch must record Result=1")
+	}
+	if iv[1].Result != 0 {
+		t.Error("not-taken branch must record Result=0")
+	}
+	if iv[0].Imm != branchImm {
+		t.Errorf("branch displacement = %#x, want %#x", iv[0].Imm, branchImm)
+	}
+}
+
+func TestRunTrimsTrailingEmptyInterval(t *testing.T) {
+	streams := Run(2, 1, func(tc *TC) {
+		tc.Add(1, 1)
+		tc.Barrier() // body ends exactly at a barrier
+	})
+	for _, s := range streams {
+		if len(s.Intervals) != 1 {
+			t.Fatalf("thread %d has %d intervals, want 1 (trailing empty trimmed)", s.Thread, len(s.Intervals))
+		}
+	}
+	// But an uneven trailing interval must be kept.
+	streams = Run(2, 1, func(tc *TC) {
+		tc.Add(1, 1)
+		tc.Barrier()
+		if tc.ID() == 0 {
+			tc.Add(2, 2)
+		}
+	})
+	for _, s := range streams {
+		if len(s.Intervals) != 2 {
+			t.Fatalf("thread %d has %d intervals, want 2 (non-empty tail kept)", s.Thread, len(s.Intervals))
+		}
+	}
+}
+
+func TestRngIsPerThreadDeterministic(t *testing.T) {
+	vals := make([][]int, 2)
+	for trial := 0; trial < 2; trial++ {
+		streams := Run(2, 7, func(tc *TC) {
+			tc.AddI(uint32(tc.Rng().Intn(1000)), 1)
+		})
+		for _, s := range streams {
+			vals[trial] = append(vals[trial], int(s.Intervals[0][0].A))
+		}
+	}
+	for i := range vals[0] {
+		if vals[0][i] != vals[1][i] {
+			t.Fatal("per-thread rng must be deterministic across runs")
+		}
+	}
+	if vals[0][0] == vals[0][1] {
+		t.Error("threads should draw different streams")
+	}
+}

@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"math/rand"
+
+	"synts/internal/fixedpoint"
+)
+
+// FFT: iterative radix-2 decimation-in-time FFT over shared complex
+// fixed-point data, one barrier per stage. All threads process interleaved
+// butterflies on statistically identical full-scale data, so the error
+// probability functions are homogeneous across threads — and because every
+// butterfly multiplies full-width values, the error probabilities are high:
+// the thesis notes FFT "does not permit any timing speculation" (§5.4).
+
+func init() {
+	register(Kernel{
+		Name:          "fft",
+		Description:   "radix-2 FFT, full-scale operands (homogeneous, high error rates)",
+		Heterogeneous: false,
+		Make:          makeFFT,
+	})
+}
+
+const (
+	fftReBase uint32 = 0x2000_0000
+	fftImBase uint32 = 0x2100_0000
+	fftTwBase uint32 = 0x2200_0000
+)
+
+func makeFFT(threads, size int, seed int64) func(tc *TC) {
+	logN := 8
+	for s := 1; s < size; s *= 2 {
+		logN++
+	}
+	n := 1 << uint(logN)
+	rng := rand.New(rand.NewSource(seed))
+	re := make([]fixedpoint.Q, n)
+	im := make([]fixedpoint.Q, n)
+	for i := range re {
+		// Full-scale signal: every butterfly operand occupies the whole
+		// 32-bit word, the reason the thesis finds FFT's error rates too
+		// high to speculate on.
+		re[i] = fixedpoint.FromFloat(rng.Float64()*16000 - 8000)
+		im[i] = fixedpoint.FromFloat(rng.Float64()*16000 - 8000)
+	}
+	// Precomputed twiddles for each stage (shared, read-only).
+	tw := make([][2]fixedpoint.Q, n/2)
+	for k := range tw {
+		ang := -2 * 3.14159265358979 * float64(k) / float64(n)
+		tw[k][0] = fixedpoint.FromFloat(cosApprox(ang))
+		tw[k][1] = fixedpoint.FromFloat(sinApprox(ang))
+	}
+
+	return func(tc *TC) {
+		t := tc.ID()
+		p := tc.NumThreads()
+		// Bit-reversal permutation: threads split the swaps.
+		tc.Loop(n/p, func(ii int) {
+			i := ii*p + t
+			j := bitrev(uint32(i), uint(logN))
+			tc.Load(fftReBase + uint32(i)*4)
+			tc.Load(fftReBase + j*4)
+			tc.Store(fftReBase + j*4)
+			if t == 0 && uint32(i) < j {
+				re[i], re[j] = re[j], re[i]
+				im[i], im[j] = im[j], im[i]
+			}
+		})
+		tc.Barrier()
+
+		for s := 1; s <= logN; s++ {
+			m := 1 << uint(s)
+			half := m / 2
+			nb := n / m // butterfly groups
+			// Thread t handles groups t, t+p, ...
+			for g := t; g < nb; g += p {
+				base := g * m
+				tc.Loop(half, func(k int) {
+					wk := tw[k*nb]
+					i0, i1 := base+k, base+k+half
+					tc.Load(fftReBase + uint32(i0)*4)
+					tc.Load(fftImBase + uint32(i0)*4)
+					tc.Load(fftReBase + uint32(i1)*4)
+					tc.Load(fftImBase + uint32(i1)*4)
+					tc.Load(fftTwBase + uint32(k*nb)*4)
+					// Complex multiply (w * x[i1]) then butterfly add/sub.
+					tr := tc.QSub(tc.QMul(wk[0], re[i1]), tc.QMul(wk[1], im[i1]))
+					ti := tc.QAdd(tc.QMul(wk[0], im[i1]), tc.QMul(wk[1], re[i1]))
+					nr0 := tc.QAdd(re[i0], tr)
+					ni0 := tc.QAdd(im[i0], ti)
+					nr1 := tc.QSub(re[i0], tr)
+					ni1 := tc.QSub(im[i0], ti)
+					re[i0], im[i0], re[i1], im[i1] = nr0, ni0, nr1, ni1
+					tc.Store(fftReBase + uint32(i0)*4)
+					tc.Store(fftImBase + uint32(i0)*4)
+					tc.Store(fftReBase + uint32(i1)*4)
+					tc.Store(fftImBase + uint32(i1)*4)
+				})
+			}
+			tc.Barrier()
+		}
+	}
+}
+
+func bitrev(v uint32, bits uint) uint32 {
+	var r uint32
+	for i := uint(0); i < bits; i++ {
+		r = r<<1 | v&1
+		v >>= 1
+	}
+	return r
+}
+
+// cosApprox/sinApprox avoid importing math in a kernel file; accuracy is
+// irrelevant to the trace (any rotation-like twiddle suffices).
+func cosApprox(x float64) float64 { return sinApprox(x + 3.14159265358979/2) }
+
+func sinApprox(x float64) float64 {
+	const pi = 3.14159265358979
+	for x > pi {
+		x -= 2 * pi
+	}
+	for x < -pi {
+		x += 2 * pi
+	}
+	if x > pi/2 {
+		x = pi - x
+	} else if x < -pi/2 {
+		x = -pi - x
+	}
+	x2 := x * x
+	return x * (1 - x2/6*(1-x2/20*(1-x2/42)))
+}

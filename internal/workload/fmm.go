@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"math/rand"
+
+	"synts/internal/fixedpoint"
+)
+
+// FMM: a 2D fast-multipole-style N-body force computation. Bodies are
+// spatially partitioned into per-thread cells; near-field interactions use
+// direct pairwise force evaluation, far-field cells are approximated by a
+// single interaction with the cell's centre-of-mass multipole — the
+// structure of the real FMM without its full tree machinery.
+//
+// Heterogeneity source: the body distribution is clustered. Thread 0's
+// region contains a dense cluster at large coordinates (many near-field
+// pairs, wide operands); the outer threads own sparse halo regions (mostly
+// cheap far-field approximations on small deltas). The thesis uses FMM as
+// one of its two running examples (Figs 6.11, 6.17).
+
+func init() {
+	register(Kernel{
+		Name:          "fmm",
+		Description:   "fast-multipole N-body, clustered bodies (heterogeneous)",
+		Heterogeneous: true,
+		Make:          makeFMM,
+	})
+}
+
+const (
+	fmmPosBase  uint32 = 0x5000_0000
+	fmmMassBase uint32 = 0x5100_0000
+	fmmAccBase  uint32 = 0x5200_0000
+)
+
+type fmmBody struct {
+	x, y, m fixedpoint.Q
+	ax, ay  fixedpoint.Q
+}
+
+func makeFMM(threads, size int, seed int64) func(tc *TC) {
+	rng := rand.New(rand.NewSource(seed))
+	// Per-thread cells along one axis. Cell t spans x in [t, t+1) * 100.
+	perCell := make([]int, threads)
+	bodies := make([][]fmmBody, threads)
+	for t := 0; t < threads; t++ {
+		// Clustered: cell 0 dense, density halves per cell.
+		perCell[t] = (56 * size) >> uint(t)
+		if perCell[t] < 16*size {
+			perCell[t] = 16 * size
+		}
+		bodies[t] = make([]fmmBody, perCell[t])
+		for i := range bodies[t] {
+			b := &bodies[t][i]
+			if t == 0 {
+				// Dense cluster at large coordinates.
+				b.x = fixedpoint.FromFloat(90 + rng.Float64()*10)
+				b.y = fixedpoint.FromFloat(90 + rng.Float64()*10)
+			} else {
+				b.x = fixedpoint.FromFloat(float64(t)*10 + rng.Float64()*10)
+				b.y = fixedpoint.FromFloat(rng.Float64() * 20)
+			}
+			b.m = fixedpoint.FromFloat(0.5 + rng.Float64())
+		}
+	}
+	// Multipoles (centre of mass per cell), filled in phase 1.
+	type pole struct{ x, y, m fixedpoint.Q }
+	poles := make([]pole, threads)
+	steps := 1
+
+	return func(tc *TC) {
+		t := tc.ID()
+		mine := bodies[t]
+		for s := 0; s < steps; s++ {
+			// Phase 1: upward pass — compute own cell's multipole.
+			var sx, sy, sm fixedpoint.Q
+			tc.Loop(len(mine), func(i int) {
+				b := mine[i]
+				tc.Load(fmmPosBase + uint32(t)<<16 + uint32(i)*8)
+				tc.Load(fmmMassBase + uint32(t)<<16 + uint32(i)*4)
+				sx = tc.QAdd(sx, tc.QMul(b.x, b.m))
+				sy = tc.QAdd(sy, tc.QMul(b.y, b.m))
+				sm = tc.QAdd(sm, b.m)
+			})
+			if sm != 0 {
+				poles[t] = pole{tc.QDiv(sx, sm), tc.QDiv(sy, sm), sm}
+			}
+			tc.Barrier()
+
+			// Phase 2: near-field direct interactions within own cell.
+			for i := range mine {
+				bi := &mine[i]
+				var ax, ay fixedpoint.Q
+				tc.Loop(len(mine), func(j int) {
+					if j == i {
+						tc.Nop()
+						return
+					}
+					bj := mine[j]
+					dx := tc.QSub(bj.x, bi.x)
+					dy := tc.QSub(bj.y, bi.y)
+					r2 := tc.QMac(tc.QMul(dx, dx), dy, dy)
+					r2 = tc.QAdd(r2, fixedpoint.FromFloat(0.05)) // softening
+					r := tc.QSqrt(r2)
+					// f = m_j / r^3, folded as (m_j / r2) / r.
+					f := tc.QDiv(tc.QDiv(bj.m, r2), r)
+					ax = tc.QAdd(ax, tc.QMul(f, dx))
+					ay = tc.QAdd(ay, tc.QMul(f, dy))
+				})
+				bi.ax, bi.ay = ax, ay
+				tc.Store(fmmAccBase + uint32(t)<<16 + uint32(i)*8)
+			}
+			tc.Barrier()
+
+			// Phase 3: far-field — one multipole interaction per other cell
+			// per body.
+			for i := range mine {
+				bi := &mine[i]
+				tc.Loop(tc.NumThreads(), func(ot int) {
+					if ot == t {
+						tc.Nop()
+						return
+					}
+					p := poles[ot]
+					dx := tc.QSub(p.x, bi.x)
+					dy := tc.QSub(p.y, bi.y)
+					r2 := tc.QMac(tc.QMul(dx, dx), dy, dy)
+					r2 = tc.QAdd(r2, fixedpoint.One)
+					f := tc.QDiv(p.m, r2)
+					bi.ax = tc.QAdd(bi.ax, tc.QMul(f, dx))
+					bi.ay = tc.QAdd(bi.ay, tc.QMul(f, dy))
+				})
+				tc.Store(fmmAccBase + uint32(t)<<16 + uint32(i)*8)
+			}
+			tc.Barrier()
+		}
+	}
+}

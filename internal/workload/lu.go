@@ -1,0 +1,152 @@
+package workload
+
+import (
+	"math/rand"
+
+	"synts/internal/fixedpoint"
+)
+
+// LU: dense blocked LU factorization without pivoting, in the two layouts
+// the SPLASH-2 suite ships: "contiguous" (each block stored densely, good
+// locality) and "non-contiguous" (row-major global array, strided block
+// access). The arithmetic is identical; the *address streams* differ, so
+// the two variants differentiate the cache model (per-thread CPI), while
+// the graded matrix content provides delay heterogeneity: the owner of the
+// current diagonal block works on the largest values.
+
+func init() {
+	register(Kernel{
+		Name:          "lu-contig",
+		Description:   "blocked LU, contiguous block layout (heterogeneous)",
+		Heterogeneous: true,
+		Make: func(threads, size int, seed int64) func(tc *TC) {
+			return makeLU(threads, size, seed, true)
+		},
+	})
+	register(Kernel{
+		Name:          "lu-ncontig",
+		Description:   "blocked LU, non-contiguous (strided) layout (heterogeneous)",
+		Heterogeneous: true,
+		Make: func(threads, size int, seed int64) func(tc *TC) {
+			return makeLU(threads, size, seed, false)
+		},
+	})
+}
+
+const luMatBase uint32 = 0x9000_0000
+
+func makeLU(threads, size int, seed int64, contig bool) func(tc *TC) {
+	nb := 2 * threads // block columns/rows
+	bs := 3 + size
+	n := nb * bs
+	rng := rand.New(rand.NewSource(seed))
+	a := make([][]fixedpoint.Q, n)
+	for i := range a {
+		a[i] = make([]fixedpoint.Q, n)
+		for j := range a[i] {
+			// Graded magnitudes: leading blocks large, trailing small.
+			scale := 16.0 / float64(1+(i/bs+j/bs))
+			a[i][j] = fixedpoint.FromFloat((rng.Float64()*2 - 1) * scale)
+		}
+		a[i][i] = fixedpoint.FromFloat(24) // diagonal dominance, no pivoting needed
+	}
+
+	// Address generators: the only difference between the two variants.
+	addr := func(i, j int) uint32 {
+		if contig {
+			// Block-major: block (bi,bj) stored densely.
+			bi, bj := i/bs, j/bs
+			ii, jj := i%bs, j%bs
+			return luMatBase + uint32(((bi*nb+bj)*bs*bs+ii*bs+jj)*4)
+		}
+		return luMatBase + uint32((i*n+j)*4) // row-major global: strided blocks
+	}
+
+	return func(tc *TC) {
+		t := tc.ID()
+		p := tc.NumThreads()
+		for k := 0; k < nb; k++ {
+			k0 := k * bs
+			kend := k0 + bs
+			// Step 1: owner factorizes the diagonal block.
+			if k%p == t {
+				for d := k0; d < kend; d++ {
+					piv := a[d][d]
+					tc.Load(addr(d, d))
+					for i := d + 1; i < kend; i++ {
+						tc.Load(addr(i, d))
+						a[i][d] = tc.QDiv(a[i][d], piv)
+						tc.Store(addr(i, d))
+						i := i
+						tc.Loop(kend-d-1, func(jj int) {
+							j := d + 1 + jj
+							tc.Load(addr(d, j))
+							a[i][j] = tc.QSub(a[i][j], tc.QMul(a[i][d], a[d][j]))
+							tc.Store(addr(i, j))
+						})
+					}
+				}
+			}
+			tc.Barrier()
+
+			// Step 2: perimeter blocks — row blocks to the right and column
+			// blocks below, owned cyclically.
+			for b := k + 1; b < nb; b++ {
+				if b%p == t {
+					// Column block (b, k): solve against U of the diagonal.
+					b0 := b * bs
+					for d := k0; d < kend; d++ {
+						for i := b0; i < b0+bs; i++ {
+							tc.Load(addr(i, d))
+							a[i][d] = tc.QDiv(a[i][d], a[d][d])
+							for j := d + 1; j < kend; j++ {
+								a[i][j] = tc.QSub(a[i][j], tc.QMul(a[i][d], a[d][j]))
+								tc.Store(addr(i, j))
+							}
+						}
+					}
+				}
+				if (b+1)%p == t {
+					// Row block (k, b): solve against L of the diagonal.
+					b0 := b * bs
+					for d := k0; d < kend; d++ {
+						for j := b0; j < b0+bs; j++ {
+							tc.Load(addr(d, j))
+							for i := d + 1; i < kend; i++ {
+								a[i][j] = tc.QSub(a[i][j], tc.QMul(a[i][d], a[d][j]))
+								tc.Store(addr(i, j))
+							}
+						}
+					}
+				}
+			}
+			tc.Barrier()
+
+			// Step 3: interior update, block-cyclic 2D ownership.
+			for bi := k + 1; bi < nb; bi++ {
+				for bj := k + 1; bj < nb; bj++ {
+					if (bi*nb+bj)%p != t {
+						continue
+					}
+					i0, j0 := bi*bs, bj*bs
+					for i := i0; i < i0+bs; i++ {
+						for j := j0; j < j0+bs; j++ {
+							acc := a[i][j]
+							tc.Load(addr(i, j))
+							i, j := i, j
+							tc.Loop(kend-k0, func(dd int) {
+								d := k0 + dd
+								tc.Load(addr(i, d))
+								tc.Load(addr(d, j))
+								acc = tc.QMac(acc, -a[i][d], a[d][j])
+							})
+							a[i][j] = acc
+							tc.Store(addr(i, j))
+						}
+					}
+				}
+			}
+			tc.Barrier()
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"math/rand"
+
+	"synts/internal/fixedpoint"
+)
+
+// Ocean: red-black Gauss-Seidel-style relaxation sweeps over a shared 2D
+// grid, row-banded across threads with a barrier per sweep. The field is
+// smooth and every thread's band is statistically identical, so the delay
+// profiles — and hence the error probabilities — are homogeneous: one of
+// the three benchmarks the thesis excludes from the heterogeneity results.
+
+func init() {
+	register(Kernel{
+		Name:          "ocean",
+		Description:   "grid relaxation sweeps, row-banded (homogeneous)",
+		Heterogeneous: false,
+		Make:          makeOcean,
+	})
+}
+
+const oceanGridBase uint32 = 0x3000_0000
+
+func makeOcean(threads, size int, seed int64) func(tc *TC) {
+	g := 24 * size // grid side
+	rng := rand.New(rand.NewSource(seed))
+	grid := make([][]fixedpoint.Q, g)
+	next := make([][]fixedpoint.Q, g)
+	for i := range grid {
+		grid[i] = make([]fixedpoint.Q, g)
+		next[i] = make([]fixedpoint.Q, g)
+		for j := range grid[i] {
+			grid[i][j] = fixedpoint.FromFloat(rng.Float64()*2 - 1)
+		}
+	}
+	quarter := fixedpoint.FromFloat(0.25)
+	sweeps := 3
+
+	return func(tc *TC) {
+		t := tc.ID()
+		p := tc.NumThreads()
+		rows := (g - 2) / p
+		lo := 1 + t*rows
+		hi := lo + rows
+		if t == p-1 {
+			hi = g - 1
+		}
+		for s := 0; s < sweeps; s++ {
+			for i := lo; i < hi; i++ {
+				tc.Loop(g-2, func(jj int) {
+					j := jj + 1
+					tc.Load(oceanGridBase + uint32(i*g+j-1)*4)
+					tc.Load(oceanGridBase + uint32(i*g+j+1)*4)
+					tc.Load(oceanGridBase + uint32((i-1)*g+j)*4)
+					tc.Load(oceanGridBase + uint32((i+1)*g+j)*4)
+					sum := tc.QAdd(grid[i][j-1], grid[i][j+1])
+					sum = tc.QAdd(sum, grid[i-1][j])
+					sum = tc.QAdd(sum, grid[i+1][j])
+					next[i][j] = tc.QMul(sum, quarter)
+					tc.Store(oceanGridBase + uint32(i*g+j)*4)
+				})
+			}
+			tc.Barrier()
+			// Copy band back (next -> grid) so the following sweep reads the
+			// updated field; threads copy their own band.
+			for i := lo; i < hi; i++ {
+				tc.Loop(g-2, func(jj int) {
+					j := jj + 1
+					tc.Load(oceanGridBase + 0x0100_0000 + uint32(i*g+j)*4)
+					tc.Store(oceanGridBase + uint32(i*g+j)*4)
+					grid[i][j] = next[i][j]
+				})
+			}
+			tc.Barrier()
+		}
+	}
+}

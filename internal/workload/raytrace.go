@@ -1,0 +1,124 @@
+package workload
+
+import (
+	"math/rand"
+
+	"synts/internal/fixedpoint"
+)
+
+// Raytrace: ray-sphere intersection rendering of a small scene, with image
+// rows banded across threads and a barrier per frame tile. Rays that hit
+// geometry run the full quadratic-discriminant and shading arithmetic on
+// large coordinate values; rays that miss exit after the cheap rejection
+// tests.
+//
+// Heterogeneity source: the scene is bottom-heavy — the spheres sit in the
+// lower image half, so the thread rendering the bottom band (the last
+// thread) does dense wide-operand arithmetic while the sky threads mostly
+// reject. This mirrors the thesis' Raytrace results (Figs 6.14, 6.16).
+
+func init() {
+	register(Kernel{
+		Name:          "raytrace",
+		Description:   "ray-sphere renderer, bottom-heavy scene (heterogeneous)",
+		Heterogeneous: true,
+		Make:          makeRaytrace,
+	})
+}
+
+const (
+	raySceneBase uint32 = 0x7000_0000
+	rayImgBase   uint32 = 0x7100_0000
+)
+
+type sphere struct {
+	x, y, z, r2 fixedpoint.Q // centre and squared radius
+	bound       fixedpoint.Q // screen-space bounding half-width
+	shade       fixedpoint.Q
+}
+
+func makeRaytrace(threads, size int, seed int64) func(tc *TC) {
+	w := 16 * size
+	h := 4 * threads * size // rows divisible by threads
+	rng := rand.New(rand.NewSource(seed))
+	spheres := make([]sphere, 6)
+	for i := range spheres {
+		r2 := float64(4+rng.Intn(8*size)) * float64(size)
+		spheres[i] = sphere{
+			// Bottom-heavy: y in the lower quarter of [-h/2, h/2], so the
+			// last thread's band owns almost all the geometry.
+			x:     fixedpoint.FromFloat((rng.Float64() - 0.5) * float64(w) / 2),
+			y:     fixedpoint.FromFloat(-float64(h)/4 - rng.Float64()*float64(h)/4),
+			z:     fixedpoint.FromFloat(40 + rng.Float64()*60),
+			r2:    fixedpoint.FromFloat(r2),
+			bound: fixedpoint.FromFloat(3 * (1 + r2/4)),
+			shade: fixedpoint.FromFloat(0.3 + rng.Float64()*0.7),
+		}
+	}
+	tiles := 2 // barrier intervals per frame
+
+	return func(tc *TC) {
+		t := tc.ID()
+		p := tc.NumThreads()
+		band := h / p
+		lo := t * band
+		hi := lo + band
+		rowsPerTile := (hi - lo) / tiles
+		for tile := 0; tile < tiles; tile++ {
+			r0 := lo + tile*rowsPerTile
+			r1 := r0 + rowsPerTile
+			if tile == tiles-1 {
+				r1 = hi
+			}
+			for y := r0; y < r1; y++ {
+				tc.Loop(w, func(x int) {
+					// Ray direction (unnormalized): through pixel (x,y),
+					// origin at (0, 0, 0) looking down +z.
+					dx := fixedpoint.FromInt(x - w/2)
+					dy := fixedpoint.FromInt(h/2 - y)
+					dz := fixedpoint.FromInt(32)
+					best := fixedpoint.FromInt(0x4000) // far plane
+					var col fixedpoint.Q
+					for si := range spheres {
+						s := spheres[si]
+						tc.Load(raySceneBase + uint32(si)*20)
+						// Quick reject on the screen-space bounding box: rays
+						// through the sky exit here with two narrow compares,
+						// rays near geometry fall through to the full
+						// wide-operand discriminant arithmetic below.
+						sdx := tc.QSub(dx, s.x)
+						sdy := tc.QSub(dy, s.y)
+						bound := s.bound
+						if tc.Slt(uint32(fixedpoint.Abs(sdx)), uint32(bound)) == 0 ||
+							tc.Slt(uint32(fixedpoint.Abs(sdy)), uint32(bound)) == 0 {
+							continue
+						}
+						// Discriminant of |o + t*d - c|^2 = r^2 with o=0:
+						// (d.c)^2 - |d|^2 (|c|^2 - r^2), all in Q16.16,
+						// pre-scaled by 1/64 to stay in range.
+						k := fixedpoint.FromFloat(1.0 / 64)
+						cx, cy, cz := fixedpoint.Mul(s.x, k), fixedpoint.Mul(s.y, k), fixedpoint.Mul(s.z, k)
+						qdx, qdy, qdz := fixedpoint.Mul(dx, k), fixedpoint.Mul(dy, k), fixedpoint.Mul(dz, k)
+						dc := tc.QAdd(tc.QAdd(tc.QMul(qdx, cx), tc.QMul(qdy, cy)), tc.QMul(qdz, cz))
+						d2 := tc.QAdd(tc.QAdd(tc.QMul(qdx, qdx), tc.QMul(qdy, qdy)), tc.QMul(qdz, qdz))
+						c2 := tc.QAdd(tc.QAdd(tc.QMul(cx, cx), tc.QMul(cy, cy)), tc.QMul(cz, cz))
+						disc := tc.QSub(tc.QMul(dc, dc), tc.QMul(d2, tc.QSub(c2, fixedpoint.Mul(s.r2, fixedpoint.Mul(k, k)))))
+						if tc.Slt(uint32(disc), 0) == 1 {
+							continue // miss
+						}
+						// Hit: distance ~ (dc - sqrt(disc)) / d2, shaded.
+						sq := tc.QSqrt(fixedpoint.Abs(disc))
+						tHit := tc.QDiv(tc.QSub(dc, sq), fixedpoint.Max(d2, fixedpoint.FromFloat(0.01)))
+						if tHit > 0 && tHit < best {
+							best = tHit
+							col = tc.QMul(s.shade, tc.QSub(fixedpoint.One, tc.QDiv(tHit, fixedpoint.FromInt(0x4000))))
+						}
+					}
+					_ = col
+					tc.Store(rayImgBase + uint32(y*w+x)*4)
+				})
+			}
+			tc.Barrier()
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package workload
+
+import (
+	"compress/gzip"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Trace serialization. Characterising a benchmark (running the kernel and
+// the circuit-level delay analysis) is the expensive half of the pipeline;
+// persisting the instruction streams lets tools re-analyse a fixed trace
+// across circuit or solver changes — the same role gem5 checkpoint traces
+// play in the paper's flow.
+
+// traceFile is the on-disk envelope. Versioned so stale caches fail loudly
+// rather than silently misparse.
+type traceFile struct {
+	Version int
+	Name    string
+	Threads int
+	Streams []*Stream
+}
+
+const traceVersion = 1
+
+// SaveStreams writes the streams gzip-compressed to w.
+func SaveStreams(w io.Writer, name string, streams []*Stream) error {
+	if len(streams) == 0 {
+		return fmt.Errorf("workload: no streams to save")
+	}
+	zw := gzip.NewWriter(w)
+	enc := gob.NewEncoder(zw)
+	err := enc.Encode(traceFile{
+		Version: traceVersion,
+		Name:    name,
+		Threads: len(streams),
+		Streams: streams,
+	})
+	if err != nil {
+		return fmt.Errorf("workload: encoding trace: %w", err)
+	}
+	return zw.Close()
+}
+
+// LoadStreams reads streams previously written by SaveStreams and returns
+// the benchmark name they were recorded from.
+func LoadStreams(r io.Reader) (string, []*Stream, error) {
+	zr, err := gzip.NewReader(r)
+	if err != nil {
+		return "", nil, fmt.Errorf("workload: opening trace: %w", err)
+	}
+	defer zr.Close()
+	var tf traceFile
+	if err := gob.NewDecoder(zr).Decode(&tf); err != nil {
+		return "", nil, fmt.Errorf("workload: decoding trace: %w", err)
+	}
+	if tf.Version != traceVersion {
+		return "", nil, fmt.Errorf("workload: trace version %d, want %d", tf.Version, traceVersion)
+	}
+	if len(tf.Streams) != tf.Threads {
+		return "", nil, fmt.Errorf("workload: trace header says %d threads, found %d", tf.Threads, len(tf.Streams))
+	}
+	return tf.Name, tf.Streams, nil
+}

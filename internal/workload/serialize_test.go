@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	k, err := ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := RunKernel(k, 4, 1, 3)
+	var buf bytes.Buffer
+	if err := SaveStreams(&buf, "radix", streams); err != nil {
+		t.Fatal(err)
+	}
+	name, loaded, err := LoadStreams(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "radix" {
+		t.Fatalf("name = %q", name)
+	}
+	if len(loaded) != len(streams) {
+		t.Fatalf("threads = %d, want %d", len(loaded), len(streams))
+	}
+	for ti := range streams {
+		if loaded[ti].Thread != streams[ti].Thread {
+			t.Fatalf("thread id mismatch at %d", ti)
+		}
+		if len(loaded[ti].Intervals) != len(streams[ti].Intervals) {
+			t.Fatalf("interval count mismatch at thread %d", ti)
+		}
+		for ii := range streams[ti].Intervals {
+			a, b := streams[ti].Intervals[ii], loaded[ti].Intervals[ii]
+			if len(a) != len(b) {
+				t.Fatalf("interval %d length mismatch", ii)
+			}
+			for j := range a {
+				if a[j] != b[j] {
+					t.Fatalf("instruction %d differs: %+v vs %+v", j, a[j], b[j])
+				}
+			}
+		}
+	}
+}
+
+func TestSaveStreamsRejectsEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveStreams(&buf, "x", nil); err == nil {
+		t.Fatal("empty save accepted")
+	}
+}
+
+func TestLoadStreamsRejectsGarbage(t *testing.T) {
+	if _, _, err := LoadStreams(strings.NewReader("not a trace")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestLoadStreamsRejectsTruncated(t *testing.T) {
+	k, _ := ByName("ocean")
+	streams := RunKernel(k, 2, 1, 1)
+	var buf bytes.Buffer
+	if err := SaveStreams(&buf, "ocean", streams); err != nil {
+		t.Fatal(err)
+	}
+	half := buf.Bytes()[:buf.Len()/2]
+	if _, _, err := LoadStreams(bytes.NewReader(half)); err == nil {
+		t.Fatal("truncated trace accepted")
+	}
+}

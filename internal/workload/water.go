@@ -1,0 +1,114 @@
+package workload
+
+import (
+	"math/rand"
+
+	"synts/internal/fixedpoint"
+)
+
+// Water-sp: short-range molecular dynamics on a near-uniform lattice of
+// molecules with a distance cutoff, block-partitioned across threads, one
+// barrier per half-step (force computation, position update). The lattice
+// is uniform, so every thread sees the same interaction density and operand
+// statistics: homogeneous error probabilities (excluded from the thesis'
+// heterogeneity results, like FFT and Ocean).
+
+func init() {
+	register(Kernel{
+		Name:          "water-sp",
+		Description:   "cutoff molecular dynamics on a uniform lattice (homogeneous)",
+		Heterogeneous: false,
+		Make:          makeWater,
+	})
+}
+
+const (
+	waterPosBase uint32 = 0x4000_0000
+	waterFrcBase uint32 = 0x4100_0000
+)
+
+type waterMol struct {
+	x, y   fixedpoint.Q
+	vx, vy fixedpoint.Q
+	fx, fy fixedpoint.Q
+}
+
+func makeWater(threads, size int, seed int64) func(tc *TC) {
+	side := 6 + 2*size // molecules per lattice side
+	n := side * side
+	rng := rand.New(rand.NewSource(seed))
+	mols := make([]waterMol, n)
+	spacing := fixedpoint.FromFloat(1.0)
+	for i := 0; i < side; i++ {
+		for j := 0; j < side; j++ {
+			m := &mols[i*side+j]
+			jit := func() fixedpoint.Q { return fixedpoint.FromFloat((rng.Float64() - 0.5) * 0.2) }
+			m.x = fixedpoint.Q(int32(i))*spacing + jit()
+			m.y = fixedpoint.Q(int32(j))*spacing + jit()
+		}
+	}
+	cutoff2 := fixedpoint.FromFloat(2.25) // (1.5 spacing)^2
+	steps := 2
+
+	return func(tc *TC) {
+		t := tc.ID()
+		p := tc.NumThreads()
+		per := n / p
+		lo := t * per
+		hi := lo + per
+		if t == p-1 {
+			hi = n
+		}
+		for s := 0; s < steps; s++ {
+			// Force phase: each thread computes forces on its own molecules
+			// against all others within the cutoff.
+			for i := lo; i < hi; i++ {
+				mi := &mols[i]
+				var fx, fy fixedpoint.Q
+				tc.Load(waterPosBase + uint32(i)*8)
+				tc.Loop(n, func(j int) {
+					if j == i {
+						tc.Nop()
+						return
+					}
+					// Read positions field-by-field: a struct copy would race
+					// with the owner thread writing mols[j].fx/.fy this phase.
+					mjx, mjy := mols[j].x, mols[j].y
+					dx := tc.QSub(mi.x, mjx)
+					dy := tc.QSub(mi.y, mjy)
+					// Early cutoff rejection on |dx|,|dy| avoids the multiply
+					// for distant pairs — the common case, as in the original.
+					if tc.Slt(uint32(fixedpoint.Abs(dx)), uint32(2*fixedpoint.One)) == 0 ||
+						tc.Slt(uint32(fixedpoint.Abs(dy)), uint32(2*fixedpoint.One)) == 0 {
+						return
+					}
+					tc.Load(waterPosBase + uint32(j)*8)
+					r2 := tc.QMac(tc.QMul(dx, dx), dy, dy)
+					if r2 >= cutoff2 || r2 == 0 {
+						tc.BranchNe(uint32(r2), uint32(cutoff2))
+						return
+					}
+					// Soft-core inverse-square force: f = (cutoff2 - r2)/cutoff2.
+					w := tc.QDiv(tc.QSub(cutoff2, r2), cutoff2)
+					fx = tc.QAdd(fx, tc.QMul(w, dx))
+					fy = tc.QAdd(fy, tc.QMul(w, dy))
+				})
+				mi.fx, mi.fy = fx, fy
+				tc.Store(waterFrcBase + uint32(i)*8)
+			}
+			tc.Barrier()
+			// Update phase: integrate own molecules.
+			dt := fixedpoint.FromFloat(0.01)
+			for i := lo; i < hi; i++ {
+				mi := &mols[i]
+				tc.Load(waterFrcBase + uint32(i)*8)
+				mi.vx = tc.QAdd(mi.vx, tc.QMul(mi.fx, dt))
+				mi.vy = tc.QAdd(mi.vy, tc.QMul(mi.fy, dt))
+				mi.x = tc.QAdd(mi.x, tc.QMul(mi.vx, dt))
+				mi.y = tc.QAdd(mi.y, tc.QMul(mi.vy, dt))
+				tc.Store(waterPosBase + uint32(i)*8)
+			}
+			tc.Barrier()
+		}
+	}
+}
