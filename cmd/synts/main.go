@@ -9,15 +9,24 @@
 // Experiments: table5.1, fig1.2, fig1.4, fig3.5, fig3.6, fig4.7, fig5.10,
 // fig6.11, fig6.12, fig6.13, fig6.14, fig6.15, fig6.16, fig6.17, fig6.18,
 // overhead.
+//
+// Experiments run concurrently on -j workers (default: NumCPU; -j 1 runs
+// them strictly in order). Each experiment renders into its own buffer and
+// the buffers are flushed in the requested order, so the output is
+// byte-identical at every -j value.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"synts/internal/exp"
+	"synts/internal/pool"
 	"synts/internal/report"
 	"synts/internal/trace"
 	"synts/internal/workload"
@@ -28,6 +37,7 @@ var (
 	seed    = flag.Int64("seed", 2016, "workload data seed")
 	threads = flag.Int("threads", 4, "cores/threads (the thesis models 4)")
 	maxIv   = flag.Int("intervals", 3, "barrier intervals analysed per benchmark")
+	jobs    = flag.Int("j", runtime.NumCPU(), "experiments run concurrently (1 = serial; output is identical at any -j)")
 	verbose = flag.Bool("v", false, "print progress to stderr")
 )
 
@@ -58,46 +68,103 @@ func main() {
 			names = append(names, e.name)
 		}
 	}
-	runner := &runner{opts: opts, benches: map[string]*exp.Bench{}}
-	for _, name := range names {
-		e := lookup(name)
-		if e == nil {
-			fmt.Fprintf(os.Stderr, "synts: unknown experiment %q\n", name)
-			os.Exit(2)
-		}
-		start := time.Now()
-		if err := e.run(runner); err != nil {
-			fmt.Fprintf(os.Stderr, "synts: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		if *verbose {
-			fmt.Fprintf(os.Stderr, "[%s done in %v]\n", name, time.Since(start).Round(time.Millisecond))
-		}
-		fmt.Println()
+	if err := runAll(names, opts, *jobs, *verbose, os.Stdout, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "synts: %v\n", err)
+		os.Exit(exitCode(err))
 	}
 }
 
+// unknownExperimentError distinguishes a usage error (exit 2, as before)
+// from an experiment failure (exit 1).
+type unknownExperimentError string
+
+func (e unknownExperimentError) Error() string {
+	return fmt.Sprintf("unknown experiment %q", string(e))
+}
+
+func exitCode(err error) int {
+	if _, ok := err.(unknownExperimentError); ok {
+		return 2
+	}
+	return 1
+}
+
+// runAll executes the named experiments on a bounded worker pool of the
+// given size and writes their rendered artefacts to stdout in the requested
+// order. Every experiment renders into a private buffer, so tables never
+// interleave and the byte stream does not depend on the job count. The
+// first error (in request order) is returned after all started work
+// settles.
+func runAll(names []string, opts exp.Options, jobs int, verbose bool, stdout, stderr io.Writer) error {
+	exps := make([]*experiment, len(names))
+	for i, name := range names {
+		if exps[i] = lookup(name); exps[i] == nil {
+			return unknownExperimentError(name)
+		}
+	}
+	r := &runner{opts: opts, benches: exp.NewBenchCache()}
+	type result struct {
+		buf  bytes.Buffer
+		err  error
+		took time.Duration
+	}
+	results := make([]*result, len(exps))
+	ready := make([]chan struct{}, len(exps))
+	for i := range exps {
+		results[i] = &result{}
+		ready[i] = make(chan struct{})
+	}
+	g := pool.New(jobs)
+	go func() {
+		for i, e := range exps {
+			g.Go(func() error {
+				start := time.Now()
+				results[i].err = e.run(r, &results[i].buf)
+				results[i].took = time.Since(start)
+				close(ready[i])
+				return nil // errors surface in request order below
+			})
+		}
+	}()
+	var firstErr error
+	for i := range exps {
+		<-ready[i]
+		if firstErr != nil {
+			continue // drain remaining experiments, print nothing further
+		}
+		res := results[i]
+		if _, err := io.Copy(stdout, &res.buf); err != nil {
+			firstErr = err
+			continue
+		}
+		if res.err != nil {
+			firstErr = fmt.Errorf("%s: %w", names[i], res.err)
+			continue
+		}
+		if verbose {
+			fmt.Fprintf(stderr, "[%s done in %v]\n", names[i], res.took.Round(time.Millisecond))
+		}
+		fmt.Fprintln(stdout)
+	}
+	return firstErr
+}
+
+// runner resolves benchmark names to loaded benchmarks. The BenchCache
+// singleflights concurrent loads, so experiments sharing a kernel run it
+// once even at -j > 1.
 type runner struct {
 	opts    exp.Options
-	benches map[string]*exp.Bench
+	benches *exp.BenchCache
 }
 
 func (r *runner) bench(name string) (*exp.Bench, error) {
-	if b, ok := r.benches[name]; ok {
-		return b, nil
-	}
-	b, err := exp.LoadBench(name, r.opts)
-	if err != nil {
-		return nil, err
-	}
-	r.benches[name] = b
-	return b, nil
+	return r.benches.Load(name, r.opts)
 }
 
 type experiment struct {
 	name string
 	desc string
-	run  func(*runner) error
+	run  func(*runner, io.Writer) error
 }
 
 func lookup(name string) *experiment {
@@ -110,7 +177,7 @@ func lookup(name string) *experiment {
 }
 
 // pareto runs one of the Figs 6.11-6.16.
-func pareto(r *runner, figure, bench string, stage trace.Stage) error {
+func pareto(r *runner, w io.Writer, figure, bench string, stage trace.Stage) error {
 	b, err := r.bench(bench)
 	if err != nil {
 		return err
@@ -121,22 +188,22 @@ func pareto(r *runner, figure, bench string, stage trace.Stage) error {
 	}
 	s := pr.Series()
 	s.Title = fmt.Sprintf("Fig %s: %s", figure, s.Title)
-	s.Render(os.Stdout)
+	s.Render(w)
 	if adv, budget, ok := pr.EnergyAdvantageVsPerCore(); ok {
-		fmt.Printf("  at matched time budget %.3f: SynTS energy %.1f%% below Per-core TS\n",
+		fmt.Fprintf(w, "  at matched time budget %.3f: SynTS energy %.1f%% below Per-core TS\n",
 			budget, adv*100)
 	} else {
-		fmt.Println("  curves do not converge within the nominal budget (cf. the thesis' ComplexALU remark)")
+		fmt.Fprintln(w, "  curves do not converge within the nominal budget (cf. the thesis' ComplexALU remark)")
 	}
 	return nil
 }
 
 var experiments = []experiment{
-	{"table5.1", "voltage vs nominal clock period (paper table + ring-oscillator model)", func(r *runner) error {
-		exp.Table51().Render(os.Stdout)
+	{"table5.1", "voltage vs nominal clock period (paper table + ring-oscillator model)", func(r *runner, w io.Writer) error {
+		exp.Table51().Render(w)
 		return nil
 	}},
-	{"fig1.2", "timing speculation vs error probability trade-off (radix T0)", func(r *runner) error {
+	{"fig1.2", "timing speculation vs error probability trade-off (radix T0)", func(r *runner, w io.Writer) error {
 		b, err := r.bench("radix")
 		if err != nil {
 			return err
@@ -145,10 +212,10 @@ var experiments = []experiment{
 		if err != nil {
 			return err
 		}
-		s.Render(os.Stdout)
+		s.Render(w)
 		return nil
 	}},
-	{"fig1.3", "multi-threaded execution snapshot: busy/wait timelines, nominal vs SynTS (fmm)", func(r *runner) error {
+	{"fig1.3", "multi-threaded execution snapshot: busy/wait timelines, nominal vs SynTS (fmm)", func(r *runner, w io.Writer) error {
 		b, err := r.bench("fmm")
 		if err != nil {
 			return err
@@ -158,11 +225,11 @@ var experiments = []experiment{
 			return err
 		}
 		for _, l := range lines {
-			fmt.Println(l)
+			fmt.Fprintln(w, l)
 		}
 		return nil
 	}},
-	{"fig1.4", "threads arriving at barriers at different times (fmm)", func(r *runner) error {
+	{"fig1.4", "threads arriving at barriers at different times (fmm)", func(r *runner, w io.Writer) error {
 		b, err := r.bench("fmm")
 		if err != nil {
 			return err
@@ -171,10 +238,10 @@ var experiments = []experiment{
 		if err != nil {
 			return err
 		}
-		s.Render(os.Stdout)
+		s.Render(w)
 		return nil
 	}},
-	{"fig3.5", "per-thread error probability vs clock period (radix, SimpleALU)", func(r *runner) error {
+	{"fig3.5", "per-thread error probability vs clock period (radix, SimpleALU)", func(r *runner, w io.Writer) error {
 		b, err := r.bench("radix")
 		if err != nil {
 			return err
@@ -183,10 +250,10 @@ var experiments = []experiment{
 		if err != nil {
 			return err
 		}
-		s.Render(os.Stdout)
+		s.Render(w)
 		return nil
 	}},
-	{"fig3.6", "motivational example: frequency up-scaling then voltage down-scaling", func(r *runner) error {
+	{"fig3.6", "motivational example: frequency up-scaling then voltage down-scaling", func(r *runner, w io.Writer) error {
 		b, err := r.bench("radix")
 		if err != nil {
 			return err
@@ -195,32 +262,32 @@ var experiments = []experiment{
 		if err != nil {
 			return err
 		}
-		t.Render(os.Stdout)
+		t.Render(w)
 		return nil
 	}},
-	{"fig4.7", "online sampling-phase schedule", func(r *runner) error {
-		exp.Fig47(r.opts, 50000).Render(os.Stdout)
+	{"fig4.7", "online sampling-phase schedule", func(r *runner, w io.Writer) error {
+		exp.Fig47(r.opts, 50000).Render(w)
 		return nil
 	}},
-	{"fig5.10", "GPGPU VALU Hamming-distance homogeneity study", func(r *runner) error {
+	{"fig5.10", "GPGPU VALU Hamming-distance homogeneity study", func(r *runner, w io.Writer) error {
 		for _, prog := range []string{"BlackScholes", "MatrixMult", "BinarySearch", "FFT", "EigenValue", "StreamCluster"} {
 			t, h, err := exp.Fig510(prog, 16000/6, r.opts.Seed)
 			if err != nil {
 				return err
 			}
-			t.Render(os.Stdout)
-			fmt.Printf("  homogeneity: max pairwise histogram distance %.3f, err spread %.4f\n\n",
+			t.Render(w)
+			fmt.Fprintf(w, "  homogeneity: max pairwise histogram distance %.3f, err spread %.4f\n\n",
 				h.MaxPairDistance, h.ErrSpread)
 		}
 		return nil
 	}},
-	{"fig6.11", "Pareto: FMM, SimpleALU", func(r *runner) error { return pareto(r, "6.11", "fmm", trace.SimpleALU) }},
-	{"fig6.12", "Pareto: Cholesky, SimpleALU", func(r *runner) error { return pareto(r, "6.12", "cholesky", trace.SimpleALU) }},
-	{"fig6.13", "Pareto: Cholesky, Decode", func(r *runner) error { return pareto(r, "6.13", "cholesky", trace.Decode) }},
-	{"fig6.14", "Pareto: Raytrace, Decode", func(r *runner) error { return pareto(r, "6.14", "raytrace", trace.Decode) }},
-	{"fig6.15", "Pareto: Cholesky, ComplexALU", func(r *runner) error { return pareto(r, "6.15", "cholesky", trace.ComplexALU) }},
-	{"fig6.16", "Pareto: Raytrace, ComplexALU", func(r *runner) error { return pareto(r, "6.16", "raytrace", trace.ComplexALU) }},
-	{"fig6.17", "actual vs online-estimated error probabilities (radix, fmm)", func(r *runner) error {
+	{"fig6.11", "Pareto: FMM, SimpleALU", func(r *runner, w io.Writer) error { return pareto(r, w, "6.11", "fmm", trace.SimpleALU) }},
+	{"fig6.12", "Pareto: Cholesky, SimpleALU", func(r *runner, w io.Writer) error { return pareto(r, w, "6.12", "cholesky", trace.SimpleALU) }},
+	{"fig6.13", "Pareto: Cholesky, Decode", func(r *runner, w io.Writer) error { return pareto(r, w, "6.13", "cholesky", trace.Decode) }},
+	{"fig6.14", "Pareto: Raytrace, Decode", func(r *runner, w io.Writer) error { return pareto(r, w, "6.14", "raytrace", trace.Decode) }},
+	{"fig6.15", "Pareto: Cholesky, ComplexALU", func(r *runner, w io.Writer) error { return pareto(r, w, "6.15", "cholesky", trace.ComplexALU) }},
+	{"fig6.16", "Pareto: Raytrace, ComplexALU", func(r *runner, w io.Writer) error { return pareto(r, w, "6.16", "raytrace", trace.ComplexALU) }},
+	{"fig6.17", "actual vs online-estimated error probabilities (radix, fmm)", func(r *runner, w io.Writer) error {
 		for _, bench := range []string{"radix", "fmm"} {
 			b, err := r.bench(bench)
 			if err != nil {
@@ -230,12 +297,12 @@ var experiments = []experiment{
 			if err != nil {
 				return err
 			}
-			s.Render(os.Stdout)
-			fmt.Println()
+			s.Render(w)
+			fmt.Fprintln(w)
 		}
 		return nil
 	}},
-	{"fig6.18", "normalized EDP, 7 benchmarks x 3 stages", func(r *runner) error {
+	{"fig6.18", "normalized EDP, 7 benchmarks x 3 stages", func(r *runner, w io.Writer) error {
 		var benches []*exp.Bench
 		for _, name := range workload.PaperSuite() {
 			b, err := r.bench(name)
@@ -249,7 +316,7 @@ var experiments = []experiment{
 			if err != nil {
 				return err
 			}
-			exp.Fig618Bars(rows, st).Render(os.Stdout)
+			exp.Fig618Bars(rows, st).Render(w)
 			// Headline: best EDP improvement of online SynTS vs per-core TS.
 			best, bench := 0.0, ""
 			for _, row := range rows {
@@ -257,20 +324,20 @@ var experiments = []experiment{
 					best, bench = imp, row.Bench
 				}
 			}
-			fmt.Printf("  %s: online SynTS EDP up to %.1f%% below Per-core TS (%s)\n\n",
+			fmt.Fprintf(w, "  %s: online SynTS EDP up to %.1f%% below Per-core TS (%s)\n\n",
 				st, best*100, bench)
 		}
 		return nil
 	}},
-	{"overhead", "SynTS-online area/power overhead accounting (§6.3)", func(r *runner) error {
+	{"overhead", "SynTS-online area/power overhead accounting (§6.3)", func(r *runner, w io.Writer) error {
 		t, _, err := exp.OverheadReport()
 		if err != nil {
 			return err
 		}
-		t.Render(os.Stdout)
+		t.Render(w)
 		return nil
 	}},
-	{"ablation", "design-choice ablations: adder architecture, delay model, sampling granule, process variation", func(r *runner) error {
+	{"ablation", "design-choice ablations: adder architecture, delay model, sampling granule, process variation", func(r *runner, w io.Writer) error {
 		b, err := r.bench("radix")
 		if err != nil {
 			return err
@@ -279,8 +346,8 @@ var experiments = []experiment{
 			if err != nil {
 				return err
 			}
-			t.Render(os.Stdout)
-			fmt.Println()
+			t.Render(w)
+			fmt.Fprintln(w)
 			return nil
 		}
 		if err := render(exp.AdderAblation(b)); err != nil {
@@ -297,7 +364,7 @@ var experiments = []experiment{
 		}
 		return render(exp.RecoveryAblation(b, trace.SimpleALU))
 	}},
-	{"joint", "exact multi-stage (any-stage-flags) error composition vs independence", func(r *runner) error {
+	{"joint", "exact multi-stage (any-stage-flags) error composition vs independence", func(r *runner, w io.Writer) error {
 		b, err := r.bench("radix")
 		if err != nil {
 			return err
@@ -306,10 +373,10 @@ var experiments = []experiment{
 		if err != nil {
 			return err
 		}
-		t.Render(os.Stdout)
+		t.Render(w)
 		return nil
 	}},
-	{"prediction", "online SynTS with predicted (instead of oracle) per-thread instruction counts", func(r *runner) error {
+	{"prediction", "online SynTS with predicted (instead of oracle) per-thread instruction counts", func(r *runner, w io.Writer) error {
 		for _, bench := range []string{"radix", "fmm"} {
 			b, err := r.bench(bench)
 			if err != nil {
@@ -319,8 +386,8 @@ var experiments = []experiment{
 			if err != nil {
 				return err
 			}
-			t.Render(os.Stdout)
-			fmt.Println()
+			t.Render(w)
+			fmt.Fprintln(w)
 		}
 		return nil
 	}},

@@ -1,6 +1,9 @@
 package main
 
 import (
+	"bytes"
+	"io"
+	"strings"
 	"testing"
 
 	"synts/internal/exp"
@@ -36,7 +39,7 @@ func TestExperimentRegistry(t *testing.T) {
 func TestRunnerCachesBenches(t *testing.T) {
 	opts := exp.DefaultOptions()
 	opts.Size = 1
-	r := &runner{opts: opts, benches: map[string]*exp.Bench{}}
+	r := &runner{opts: opts, benches: exp.NewBenchCache()}
 	a, err := r.bench("ocean")
 	if err != nil {
 		t.Fatal(err)
@@ -53,19 +56,57 @@ func TestRunnerCachesBenches(t *testing.T) {
 	}
 }
 
-// Fast experiments run end to end through the CLI plumbing (stdout output
-// is the artefact; here we only assert success).
+// Fast experiments run end to end through the CLI plumbing (the rendered
+// output is the artefact; here we only assert success).
 func TestFastExperimentsRun(t *testing.T) {
 	opts := exp.DefaultOptions()
 	opts.Size = 1
-	r := &runner{opts: opts, benches: map[string]*exp.Bench{}}
+	r := &runner{opts: opts, benches: exp.NewBenchCache()}
 	for _, name := range []string{"table5.1", "fig4.7", "overhead"} {
 		e := lookup(name)
 		if e == nil {
 			t.Fatalf("missing %s", name)
 		}
-		if err := e.run(r); err != nil {
+		if err := e.run(r, io.Discard); err != nil {
 			t.Errorf("%s: %v", name, err)
 		}
+	}
+}
+
+func TestRunAllUnknownExperiment(t *testing.T) {
+	err := runAll([]string{"table5.1", "nope"}, exp.DefaultOptions(), 1, false, io.Discard, io.Discard)
+	if err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	if exitCode(err) != 2 {
+		t.Errorf("unknown experiment exit code = %d, want 2 (usage error)", exitCode(err))
+	}
+	if !strings.Contains(err.Error(), "nope") {
+		t.Errorf("error %q does not name the experiment", err)
+	}
+}
+
+// The CLI determinism golden test: the rendered byte stream must be
+// identical whether the experiments run strictly in order (-j 1) or
+// concurrently (-j 4). Proves the pipeline's parallelism never leaks into
+// the artefacts.
+func TestRunAllOutputIdenticalAcrossJobCounts(t *testing.T) {
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	names := []string{"table5.1", "fig3.6"}
+	run := func(jobs int) string {
+		var out bytes.Buffer
+		if err := runAll(names, opts, jobs, false, &out, io.Discard); err != nil {
+			t.Fatalf("-j %d: %v", jobs, err)
+		}
+		return out.String()
+	}
+	serial := run(1)
+	parallel := run(4)
+	if serial != parallel {
+		t.Errorf("-j 1 and -j 4 output differ:\n--- j1 ---\n%s\n--- j4 ---\n%s", serial, parallel)
+	}
+	if !strings.Contains(serial, "Table 5.1") || !strings.Contains(serial, "Fig 3.6") {
+		t.Error("output missing expected artefacts")
 	}
 }

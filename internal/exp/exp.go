@@ -65,12 +65,26 @@ func Platform(stage trace.Stage, opts Options) *core.Config {
 
 // Bench bundles one benchmark's streams and per-stage profiles.
 type Bench struct {
-	Name     string
-	Opts     Options
-	Streams  []*workload.Stream
-	profiles map[trace.Stage][][]*trace.Profile
-	mu       sync.Mutex
+	Name    string
+	Opts    Options
+	Streams []*workload.Stream
+
+	mu       sync.Mutex // guards the map only, never held across a build
+	profiles map[trace.Stage]*profileEntry
 }
+
+// profileEntry singleflights one stage's profile build: concurrent callers
+// share the sync.Once, so exactly one goroutine computes while the others
+// block on it — and builds for *different* stages proceed concurrently
+// instead of serializing on a whole-map lock.
+type profileEntry struct {
+	once sync.Once
+	p    [][]*trace.Profile
+	err  error
+}
+
+// buildProfiles is swapped out by tests that count build invocations.
+var buildProfiles = trace.BuildProfiles
 
 // LoadBench runs the kernel and truncates every thread's trace to
 // MaxIntervals barrier intervals (§5.2 runs 3 intervals or to completion).
@@ -91,24 +105,71 @@ func LoadBench(name string, opts Options) (*Bench, error) {
 		Name:     name,
 		Opts:     opts,
 		Streams:  streams,
-		profiles: make(map[trace.Stage][][]*trace.Profile),
+		profiles: make(map[trace.Stage]*profileEntry),
 	}, nil
 }
 
 // Profiles returns (building and caching on first use) the [thread][interval]
-// profiles of the benchmark for a stage.
+// profiles of the benchmark for a stage. Concurrent callers for the same
+// stage trigger exactly one build; callers for different stages build in
+// parallel.
 func (b *Bench) Profiles(stage trace.Stage) ([][]*trace.Profile, error) {
 	b.mu.Lock()
-	defer b.mu.Unlock()
-	if p, ok := b.profiles[stage]; ok {
-		return p, nil
+	e, ok := b.profiles[stage]
+	if !ok {
+		e = &profileEntry{}
+		b.profiles[stage] = e
 	}
-	p, err := trace.BuildProfiles(b.Streams, stage, b.Opts.Cache)
-	if err != nil {
-		return nil, err
+	b.mu.Unlock()
+	e.once.Do(func() {
+		e.p, e.err = buildProfiles(b.Streams, stage, b.Opts.Cache)
+	})
+	return e.p, e.err
+}
+
+// BenchCache memoizes loaded benchmarks across experiments, keyed by
+// (name, options), with per-key singleflight: concurrent drivers that need
+// the same kernel run it once and share the *Bench (whose own per-stage
+// profile memoization is concurrency-safe, so sharing is free).
+type BenchCache struct {
+	mu sync.Mutex
+	m  map[benchKey]*benchEntry
+}
+
+type benchKey struct {
+	name string
+	opts Options
+}
+
+type benchEntry struct {
+	once sync.Once
+	b    *Bench
+	err  error
+}
+
+// loadBenchImpl is swapped out by tests that count kernel runs.
+var loadBenchImpl = LoadBench
+
+// NewBenchCache returns an empty cache.
+func NewBenchCache() *BenchCache {
+	return &BenchCache{m: make(map[benchKey]*benchEntry)}
+}
+
+// Load returns the cached benchmark for (name, opts), running the kernel
+// on first use. Every caller with the same key gets the same *Bench.
+func (c *BenchCache) Load(name string, opts Options) (*Bench, error) {
+	key := benchKey{name: name, opts: opts}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &benchEntry{}
+		c.m[key] = e
 	}
-	b.profiles[stage] = p
-	return p, nil
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.b, e.err = loadBenchImpl(name, opts)
+	})
+	return e.b, e.err
 }
 
 // Intervals returns the per-interval solver inputs for a stage.

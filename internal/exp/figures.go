@@ -8,6 +8,7 @@ import (
 	"synts/internal/gpgpu"
 	"synts/internal/mcsim"
 	"synts/internal/netlist"
+	"synts/internal/pool"
 	"synts/internal/razor"
 	"synts/internal/report"
 	"synts/internal/trace"
@@ -349,6 +350,8 @@ type ParetoResult struct {
 }
 
 // Pareto sweeps theta and solves every approach offline (Figs 6.11–6.16).
+// The (solver, theta) grid fans out over the worker pool; every point lands
+// at its own index, so the curves are identical to a serial sweep.
 func Pareto(b *Bench, stage trace.Stage) (*ParetoResult, error) {
 	ivs, err := b.Intervals(stage)
 	if err != nil {
@@ -357,19 +360,32 @@ func Pareto(b *Bench, stage trace.Stage) (*ParetoResult, error) {
 	cfg := Platform(stage, b.Opts)
 	nom := Nominal(cfg, ivs)
 	thetas := ThetaGrid(cfg, ivs, DefaultWeights())
-	res := &ParetoResult{Bench: b.Name, Stage: stage, Curves: map[string][]ParetoPoint{}}
+	var solvers []core.Solver
 	for _, solver := range core.Solvers() {
 		if solver.Name == "Nominal" {
 			continue // the normalisation reference: the (1,1) point
 		}
-		for wi, theta := range thetas {
-			tot := SolveAll(cfg, ivs, solver.Solve, theta)
-			res.Curves[solver.Name] = append(res.Curves[solver.Name], ParetoPoint{
-				Weight: DefaultWeights()[wi],
-				Time:   tot.Time / nom.Time,
-				Energy: tot.Energy / nom.Energy,
-			})
+		solvers = append(solvers, solver)
+	}
+	curves := make([][]ParetoPoint, len(solvers))
+	for si := range curves {
+		curves[si] = make([]ParetoPoint, len(thetas))
+	}
+	if err := pool.ForEach(0, len(solvers)*len(thetas), func(i int) error {
+		si, wi := i/len(thetas), i%len(thetas)
+		tot := SolveAll(cfg, ivs, solvers[si].Solve, thetas[wi])
+		curves[si][wi] = ParetoPoint{
+			Weight: DefaultWeights()[wi],
+			Time:   tot.Time / nom.Time,
+			Energy: tot.Energy / nom.Energy,
 		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	res := &ParetoResult{Bench: b.Name, Stage: stage, Curves: map[string][]ParetoPoint{}}
+	for si, solver := range solvers {
+		res.Curves[solver.Name] = curves[si]
 	}
 	return res, nil
 }
@@ -508,13 +524,15 @@ type EDPRow struct {
 }
 
 // Fig618 computes the normalized-EDP comparison (Fig 6.18) for one stage
-// across the given benchmarks, at the balanced theta (w = 1).
+// across the given benchmarks, at the balanced theta (w = 1). Benchmarks
+// fan out over the worker pool; each row lands at its benchmark's index.
 func Fig618(benches []*Bench, stage trace.Stage) ([]EDPRow, error) {
-	rows := make([]EDPRow, 0, len(benches))
-	for _, b := range benches {
+	rows := make([]EDPRow, len(benches))
+	if err := pool.ForEach(0, len(benches), func(i int) error {
+		b := benches[i]
 		ivs, err := b.Intervals(stage)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		cfg := Platform(stage, b.Opts)
 		theta := ThetaGrid(cfg, ivs, []float64{1})[0]
@@ -525,17 +543,20 @@ func Fig618(benches []*Bench, stage trace.Stage) ([]EDPRow, error) {
 		nominal := SolveAll(cfg, ivs, core.SolveNominal, theta)
 		online, err := solveOnlineAll(b, cfg, stage, theta)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		norm := offline.EDP()
-		rows = append(rows, EDPRow{
+		rows[i] = EDPRow{
 			Bench:         b.Name,
 			SynTSOnline:   online.EDP() / norm,
 			PerCoreTS:     percore.EDP() / norm,
 			NoTS:          nots.EDP() / norm,
 			Nominal:       nominal.EDP() / norm,
 			OfflineEDPAbs: norm,
-		})
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

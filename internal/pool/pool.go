@@ -1,0 +1,89 @@
+// Package pool provides a small bounded worker pool with errgroup-style
+// first-error cancellation, stdlib-only. It is shared by the trace-building
+// pipeline (fan-out over (thread, interval) tasks) and the experiment layer
+// (concurrent experiment drivers in cmd/synts, per-benchmark fan-out in
+// internal/exp). Results are always assembled by index on the caller's
+// side, so bounded concurrency never perturbs output order.
+package pool
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Group runs tasks on at most limit goroutines at a time. Go blocks the
+// submitting goroutine while the pool is full, so submission order is also
+// start order; with limit 1 the tasks run strictly sequentially. After a
+// task returns a non-nil error, subsequent Go calls skip their task and
+// Wait returns the first error.
+type Group struct {
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+	err  error
+	done chan struct{}
+}
+
+// New returns a Group limited to the given number of concurrently running
+// tasks. A limit <= 0 means runtime.GOMAXPROCS(0).
+func New(limit int) *Group {
+	if limit <= 0 {
+		limit = runtime.GOMAXPROCS(0)
+	}
+	return &Group{
+		sem:  make(chan struct{}, limit),
+		done: make(chan struct{}),
+	}
+}
+
+// Go submits a task, blocking until a worker slot is free. If an earlier
+// task has already failed, the task is dropped without running: the pool's
+// contract is first-error cancellation, not best-effort completion.
+func (g *Group) Go(fn func() error) {
+	select {
+	case <-g.done:
+		return
+	default:
+	}
+	select {
+	case <-g.done:
+		return
+	case g.sem <- struct{}{}:
+	}
+	g.wg.Add(1)
+	go func() {
+		defer func() {
+			<-g.sem
+			g.wg.Done()
+		}()
+		if err := fn(); err != nil {
+			g.once.Do(func() {
+				g.err = err
+				close(g.done)
+			})
+		}
+	}()
+}
+
+// Done is closed when a task fails; long-running tasks may poll it to bail
+// out early.
+func (g *Group) Done() <-chan struct{} { return g.done }
+
+// Wait blocks until every started task has finished and returns the first
+// error, if any.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	return g.err
+}
+
+// ForEach runs fn(0) … fn(n-1) on at most limit concurrent goroutines
+// (limit <= 0 means GOMAXPROCS) and returns the first error. Indices whose
+// task never ran because of an earlier failure are simply skipped; callers
+// that need every index must check the returned error.
+func ForEach(limit, n int, fn func(i int) error) error {
+	g := New(limit)
+	for i := 0; i < n; i++ {
+		g.Go(func() error { return fn(i) })
+	}
+	return g.Wait()
+}

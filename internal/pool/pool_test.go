@@ -1,0 +1,162 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestZeroTasks(t *testing.T) {
+	g := New(4)
+	if err := g.Wait(); err != nil {
+		t.Fatalf("Wait on empty group = %v, want nil", err)
+	}
+}
+
+func TestSingleTask(t *testing.T) {
+	g := New(1)
+	ran := false
+	g.Go(func() error { ran = true; return nil })
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Error("single task did not run")
+	}
+}
+
+func TestFirstErrorWins(t *testing.T) {
+	first := errors.New("boom")
+	g := New(1) // limit 1: strictly sequential, so "first" is well defined
+	g.Go(func() error { return first })
+	g.Go(func() error { return errors.New("later") })
+	if err := g.Wait(); err != first {
+		t.Fatalf("Wait = %v, want the first error", err)
+	}
+}
+
+func TestCancellationSkipsQueuedTasks(t *testing.T) {
+	g := New(1)
+	var ran atomic.Int32
+	g.Go(func() error { return errors.New("fail fast") })
+	if err := g.Wait(); err == nil {
+		t.Fatal("want error")
+	}
+	// Everything submitted after the failure must be dropped.
+	for i := 0; i < 10; i++ {
+		g.Go(func() error { ran.Add(1); return nil })
+	}
+	if err := g.Wait(); err == nil {
+		t.Fatal("error must persist across Wait calls")
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d tasks ran after cancellation, want 0", n)
+	}
+}
+
+func TestDoneClosesOnError(t *testing.T) {
+	g := New(2)
+	select {
+	case <-g.Done():
+		t.Fatal("Done closed before any failure")
+	default:
+	}
+	g.Go(func() error { return errors.New("x") })
+	if err := g.Wait(); err == nil {
+		t.Fatal("want error")
+	}
+	select {
+	case <-g.Done():
+	case <-time.After(time.Second):
+		t.Fatal("Done not closed after failure")
+	}
+}
+
+func TestBoundedConcurrency(t *testing.T) {
+	const limit = 3
+	g := New(limit)
+	var inFlight, peak atomic.Int32
+	for i := 0; i < 50; i++ {
+		g.Go(func() error {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			inFlight.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > limit {
+		t.Errorf("peak concurrency %d exceeds limit %d", p, limit)
+	}
+}
+
+func TestLimitOneIsSequentialInSubmissionOrder(t *testing.T) {
+	g := New(1)
+	var mu sync.Mutex
+	var order []int
+	for i := 0; i < 20; i++ {
+		g.Go(func() error {
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order[%d] = %d: limit-1 pool must preserve submission order (got %v)", i, v, order)
+		}
+	}
+}
+
+func TestDefaultLimitFromGOMAXPROCS(t *testing.T) {
+	g := New(0)
+	if cap(g.sem) < 1 {
+		t.Fatalf("New(0) worker limit = %d, want >= 1", cap(g.sem))
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(4, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+}
+
+func TestForEachError(t *testing.T) {
+	err := ForEach(1, 10, func(i int) error {
+		if i == 3 {
+			return fmt.Errorf("task %d failed", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "task 3 failed" {
+		t.Fatalf("ForEach error = %v, want task 3 failure", err)
+	}
+}
+
+func TestForEachZeroTasks(t *testing.T) {
+	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
+		t.Fatal(err)
+	}
+}

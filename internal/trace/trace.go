@@ -16,6 +16,7 @@ import (
 	"synts/internal/cpu"
 	"synts/internal/isa"
 	"synts/internal/netlist"
+	"synts/internal/pool"
 	"synts/internal/timing"
 	"synts/internal/workload"
 )
@@ -160,15 +161,7 @@ func (sc *StageCircuit) Vector(in isa.Inst) []bool {
 	switch sc.Stage {
 	case Decode:
 		n.SetBusUint(sc.in, sc.instBus, uint64(isa.Encode(in)))
-		// Fetch-path model: the PC advances one word per instruction and
-		// jumps on taken branches (recorded in Result by the workload
-		// runtime), so the target adder sees both incremental carries and
-		// the discontinuities of a thread's real control flow.
-		if in.Op.Class() == isa.ClassBranch && in.Result == 1 {
-			sc.pc += uint32(int32(int16(in.Imm))) * 4
-		} else {
-			sc.pc += 4
-		}
+		sc.stepPC(in)
 		n.SetBusUint(sc.in, sc.pcBus, uint64(0x0040_0000+sc.pc))
 	case SimpleALU:
 		n.SetBusUint(sc.in, sc.opBus, aluOpFor(in.Op))
@@ -191,6 +184,36 @@ func (sc *StageCircuit) Vector(in isa.Inst) []bool {
 		n.SetBusUint(sc.in, sc.cBus, uint64(in.C))
 	}
 	return sc.in
+}
+
+// stepPC advances the synthetic fetch PC over one instruction. Fetch-path
+// model: the PC advances one word per instruction and jumps on taken
+// branches (recorded in Result by the workload runtime), so the Decode
+// target adder sees both incremental carries and the discontinuities of a
+// thread's real control flow.
+func (sc *StageCircuit) stepPC(in isa.Inst) {
+	if in.Op.Class() == isa.ClassBranch && in.Result == 1 {
+		sc.pc += uint32(int32(int16(in.Imm))) * 4
+	} else {
+		sc.pc += 4
+	}
+}
+
+// SeekPC fast-forwards the fetch PC over earlier barrier intervals without
+// simulating them. A fresh circuit positioned with SeekPC produces exactly
+// the delay trace a circuit that walked the earlier intervals would: the PC
+// is the only StageCircuit state that survives interval boundaries
+// (DelayTrace re-primes its analyzer per interval). This is what makes
+// (thread, interval) a legal parallel work unit.
+func (sc *StageCircuit) SeekPC(earlier [][]isa.Inst) {
+	if sc.Stage != Decode {
+		return // only the Decode vector depends on the PC
+	}
+	for _, iv := range earlier {
+		for _, in := range iv {
+			sc.stepPC(in)
+		}
+	}
 }
 
 // DelayTrace computes the sensitized delay of every instruction in the
@@ -262,48 +285,102 @@ func (p *Profile) MaxDelay() float64 {
 }
 
 // BuildProfiles characterises every thread and barrier interval of a
-// workload for one stage, running threads in parallel. Each thread gets a
-// private cache (one core per thread) that stays warm across intervals.
-// The result is indexed [thread][interval].
+// workload for one stage. The work fans out over a bounded worker pool
+// (GOMAXPROCS workers) at (thread, interval) granularity: each interval's
+// delay trace runs as an independent task on a fresh StageCircuit
+// fast-forwarded to the interval's starting fetch PC, while each thread's
+// CPI measurement stays one in-order task so its private cache (one core
+// per thread) remains warm across intervals. Results are assembled by
+// index, so the output is byte-identical to BuildProfilesSerial regardless
+// of scheduling. The result is indexed [thread][interval].
 func BuildProfiles(streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig) ([][]*Profile, error) {
+	return BuildProfilesWorkers(streams, stage, cacheCfg, 0)
+}
+
+// BuildProfilesWorkers is BuildProfiles with an explicit worker-pool size;
+// workers <= 0 means GOMAXPROCS.
+func BuildProfilesWorkers(streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig, workers int) ([][]*Profile, error) {
 	if len(streams) == 0 {
 		return nil, fmt.Errorf("trace: no streams")
 	}
 	out := make([][]*Profile, len(streams))
-	errs := make([]error, len(streams))
-	var wg sync.WaitGroup
+	cpis := make([][]float64, len(streams))
 	for t, s := range streams {
-		wg.Add(1)
-		go func(t int, s *workload.Stream) {
-			defer wg.Done()
-			sc := NewStageCircuit(stage)
+		out[t] = make([]*Profile, len(s.Intervals))
+		cpis[t] = make([]float64, len(s.Intervals))
+	}
+	g := pool.New(workers)
+	for t, s := range streams {
+		g.Go(func() error {
 			cache, err := cpu.NewCache(cacheCfg)
 			if err != nil {
-				errs[t] = err
-				return
+				return err
 			}
-			out[t] = make([]*Profile, len(s.Intervals))
 			for ii, iv := range s.Intervals {
+				cpis[t][ii] = cpu.MeasureCPI(iv, cache).CPI
+			}
+			return nil
+		})
+		for ii := range s.Intervals {
+			g.Go(func() error {
+				sc := NewStageCircuit(stage)
+				sc.SeekPC(s.Intervals[:ii])
+				iv := s.Intervals[ii]
 				delays := sc.DelayTrace(iv)
 				sorted := append([]float64(nil), delays...)
 				sort.Float64s(sorted)
-				cpiRes := cpu.MeasureCPI(iv, cache)
 				out[t][ii] = &Profile{
 					Thread:       t,
 					Interval:     ii,
 					N:            len(iv),
-					CPIBase:      cpiRes.CPI,
 					TCrit:        sc.TCrit,
 					Delays:       delays,
 					SortedDelays: sorted,
 				}
-			}
-		}(t, s)
+				return nil
+			})
+		}
 	}
-	wg.Wait()
-	for _, err := range errs {
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	for t := range out {
+		for ii := range out[t] {
+			out[t][ii].CPIBase = cpis[t][ii]
+		}
+	}
+	return out, nil
+}
+
+// BuildProfilesSerial is the single-goroutine reference implementation:
+// per thread, one circuit and one cache walk the intervals in order. The
+// parallel path must reproduce it byte for byte (see the determinism tests
+// and the -j documentation in cmd/synts).
+func BuildProfilesSerial(streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig) ([][]*Profile, error) {
+	if len(streams) == 0 {
+		return nil, fmt.Errorf("trace: no streams")
+	}
+	out := make([][]*Profile, len(streams))
+	for t, s := range streams {
+		sc := NewStageCircuit(stage)
+		cache, err := cpu.NewCache(cacheCfg)
 		if err != nil {
 			return nil, err
+		}
+		out[t] = make([]*Profile, len(s.Intervals))
+		for ii, iv := range s.Intervals {
+			delays := sc.DelayTrace(iv)
+			sorted := append([]float64(nil), delays...)
+			sort.Float64s(sorted)
+			out[t][ii] = &Profile{
+				Thread:       t,
+				Interval:     ii,
+				N:            len(iv),
+				CPIBase:      cpu.MeasureCPI(iv, cache).CPI,
+				TCrit:        sc.TCrit,
+				Delays:       delays,
+				SortedDelays: sorted,
+			}
 		}
 	}
 	return out, nil

@@ -2,6 +2,7 @@ package trace
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -220,6 +221,104 @@ func TestRadixHeterogeneityEndToEnd(t *testing.T) {
 	e3 := profs[3][0].Err(r)
 	if e0 <= e3 {
 		t.Errorf("radix: thread 0 Err(%v)=%v must exceed thread 3's %v", r, e0, e3)
+	}
+}
+
+// The determinism invariant the parallel pipeline guarantees: profiles
+// built by the bounded worker pool are byte-identical to the serial
+// reference, for every stage — including Decode, whose fetch PC threads
+// state across interval boundaries and is fast-forwarded with SeekPC.
+func TestBuildProfilesParallelMatchesSerial(t *testing.T) {
+	k, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 4, 1, 42)
+	for _, stage := range Stages() {
+		serial, err := BuildProfilesSerial(streams, stage, cpu.DefaultL1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			par, err := BuildProfilesWorkers(streams, stage, cpu.DefaultL1(), workers)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(serial, par) {
+				t.Errorf("%v: %d-worker profiles differ from serial reference", stage, workers)
+			}
+		}
+	}
+}
+
+func TestSeekPCMatchesWalkedCircuit(t *testing.T) {
+	k, _ := workload.ByName("fmm")
+	streams := workload.RunKernel(k, 2, 1, 7)
+	ivs := streams[0].Intervals
+	if len(ivs) < 2 {
+		t.Skip("need at least two intervals")
+	}
+	walked := NewStageCircuit(Decode)
+	for _, iv := range ivs[:len(ivs)-1] {
+		walked.DelayTrace(iv)
+	}
+	sought := NewStageCircuit(Decode)
+	sought.SeekPC(ivs[:len(ivs)-1])
+	if walked.pc != sought.pc {
+		t.Fatalf("SeekPC pc = %#x, walked circuit pc = %#x", sought.pc, walked.pc)
+	}
+	last := ivs[len(ivs)-1]
+	dw := walked.DelayTrace(last)
+	ds := sought.DelayTrace(last)
+	if !reflect.DeepEqual(dw, ds) {
+		t.Error("delay trace after SeekPC differs from a walked circuit")
+	}
+}
+
+func TestBuildProfilesNoStreams(t *testing.T) {
+	if _, err := BuildProfiles(nil, SimpleALU, cpu.DefaultL1()); err == nil {
+		t.Error("BuildProfiles(nil) must error")
+	}
+	if _, err := BuildProfilesSerial(nil, SimpleALU, cpu.DefaultL1()); err == nil {
+		t.Error("BuildProfilesSerial(nil) must error")
+	}
+}
+
+func TestBuildProfilesBadCacheConfig(t *testing.T) {
+	k, _ := workload.ByName("ocean")
+	streams := workload.RunKernel(k, 2, 1, 1)
+	bad := cpu.CacheConfig{Lines: 3, LineBytes: 64, MissPenalty: 20}
+	if _, err := BuildProfiles(streams, SimpleALU, bad); err == nil {
+		t.Error("invalid cache config must propagate out of the worker pool")
+	}
+}
+
+func benchProfileStreams(b *testing.B) []*workload.Stream {
+	b.Helper()
+	k, err := workload.ByName("radix")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return workload.RunKernel(k, 4, 1, 2016)
+}
+
+func BenchmarkBuildProfilesSerial(b *testing.B) {
+	streams := benchProfileStreams(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildProfilesSerial(streams, SimpleALU, cpu.DefaultL1()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBuildProfilesParallel(b *testing.B) {
+	streams := benchProfileStreams(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildProfiles(streams, SimpleALU, cpu.DefaultL1()); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 
