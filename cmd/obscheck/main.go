@@ -1,0 +1,149 @@
+// Command obscheck validates the observability artifacts a synts run
+// emits: the -stats-json snapshot and the -trace-out Chrome trace. CI runs
+// it against freshly generated files so a schema regression fails the
+// build instead of silently shipping artifacts no dashboard can parse.
+//
+// Usage:
+//
+//	obscheck -stats stats.json -trace trace.json
+//
+// Either flag may be omitted to check only one artifact.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"synts/internal/obs"
+)
+
+func main() {
+	statsPath := flag.String("stats", "", "path to a -stats-json snapshot")
+	tracePath := flag.String("trace", "", "path to a -trace-out Chrome trace")
+	flag.Parse()
+	if *statsPath == "" && *tracePath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats and/or -trace)")
+		os.Exit(2)
+	}
+	failed := false
+	if *statsPath != "" {
+		if err := checkStats(*statsPath); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", *statsPath, err)
+			failed = true
+		} else {
+			fmt.Printf("obscheck: %s ok\n", *statsPath)
+		}
+	}
+	if *tracePath != "" {
+		if err := checkTrace(*tracePath); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", *tracePath, err)
+			failed = true
+		} else {
+			fmt.Printf("obscheck: %s ok\n", *tracePath)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// checkStats enforces the snapshot contract: parseable as obs.Snapshot,
+// pool queue-wait histogram with quantiles, the derived BenchCache hit
+// ratio in [0,1], and per-stage profile-build span totals.
+func checkStats(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var s obs.Snapshot
+	if err := json.Unmarshal(raw, &s); err != nil {
+		return fmt.Errorf("not a stats snapshot: %w", err)
+	}
+	if s.Timestamp == "" || s.GoMaxProcs <= 0 {
+		return fmt.Errorf("missing timestamp/gomaxprocs")
+	}
+	qw, ok := s.Histograms["pool.queue_wait_ns"]
+	if !ok {
+		return fmt.Errorf("missing histogram pool.queue_wait_ns")
+	}
+	if qw.Count == 0 || qw.P95 < 0 || qw.P95 > qw.Max {
+		return fmt.Errorf("implausible queue-wait summary: %+v", qw)
+	}
+	ratio, ok := s.Derived["exp.benchcache.hit_ratio"]
+	if !ok {
+		return fmt.Errorf("missing derived exp.benchcache.hit_ratio")
+	}
+	if ratio < 0 || ratio > 1 {
+		return fmt.Errorf("benchcache hit ratio %v outside [0,1]", ratio)
+	}
+	stageSpans := 0
+	for name, agg := range s.Spans {
+		if strings.HasPrefix(name, "trace.build_profiles:") {
+			stageSpans++
+			if agg.Count == 0 || agg.TotalNs <= 0 {
+				return fmt.Errorf("span %s has empty totals: %+v", name, agg)
+			}
+		}
+	}
+	if stageSpans == 0 {
+		return fmt.Errorf("no per-stage trace.build_profiles spans recorded")
+	}
+	for name, c := range s.Counters {
+		if c < 0 {
+			return fmt.Errorf("counter %s is negative: %d", name, c)
+		}
+	}
+	return nil
+}
+
+// checkTrace enforces the Chrome trace-event contract: a JSON array of
+// complete events with name/ph/ts/dur/pid/tid, covering pool tasks,
+// profile builds and solver calls.
+func checkTrace(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(raw, &events); err != nil {
+		return fmt.Errorf("not a trace-event array: %w", err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace contains no events")
+	}
+	prefixes := map[string]bool{"pool.task": false, "trace.interval_build:": false, "exp.solve:": false}
+	for i, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				return fmt.Errorf("event %d missing key %q", i, key)
+			}
+		}
+		if ev["ph"] != "X" {
+			return fmt.Errorf("event %d: ph %v, want X", i, ev["ph"])
+		}
+		name, _ := ev["name"].(string)
+		if name == "" {
+			return fmt.Errorf("event %d: empty name", i)
+		}
+		if ts, ok := ev["ts"].(float64); !ok || ts < 0 {
+			return fmt.Errorf("event %d: bad ts %v", i, ev["ts"])
+		}
+		if dur, ok := ev["dur"].(float64); !ok || dur < 0 {
+			return fmt.Errorf("event %d: bad dur %v", i, ev["dur"])
+		}
+		for p := range prefixes {
+			if strings.HasPrefix(name, p) {
+				prefixes[p] = true
+			}
+		}
+	}
+	for p, seen := range prefixes {
+		if !seen {
+			return fmt.Errorf("trace covers no %q events", p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,193 @@
+package main
+
+// The `synts bench` subcommand: a machine-readable benchmark reporter.
+// It runs a fixed suite of micro- and pipeline-benchmarks through
+// testing.Benchmark and writes BENCH_synts.json (op name, ns/op, allocs/op,
+// B/op, iterations, timestamp, GOMAXPROCS), so the repository's perf
+// trajectory is recorded as data instead of prose. CI uploads the file as
+// a build artifact on every push.
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"synts/internal/core"
+	"synts/internal/cpu"
+	"synts/internal/exp"
+	"synts/internal/obs"
+	"synts/internal/trace"
+	"synts/internal/workload"
+)
+
+// benchSchema versions the BENCH_synts.json layout.
+const benchSchema = "synts-bench/v1"
+
+// BenchReport is the top-level BENCH_synts.json document.
+type BenchReport struct {
+	Schema     string       `json:"schema"`
+	Timestamp  string       `json:"timestamp"`
+	GoVersion  string       `json:"go"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	Benchmarks []BenchEntry `json:"benchmarks"`
+}
+
+// BenchEntry is one benchmark's result.
+type BenchEntry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// benchSuite returns the named benchmark closures. The suite deliberately
+// spans the layers the obs package instruments: the profile pipeline
+// (serial and pooled), the solver hot path, the delay-trace kernel, the
+// CPI/cache model, and the instrumentation layer itself (disabled and
+// enabled), so the trajectory captures both product and meta overheads.
+func benchSuite(size int) ([]string, map[string]func(b *testing.B), error) {
+	k, err := workload.ByName("radix")
+	if err != nil {
+		return nil, nil, err
+	}
+	streams := workload.RunKernel(k, 4, size, 2016)
+	iv := streams[0].Intervals[0]
+	cfg := exp.Platform(trace.SimpleALU, exp.DefaultOptions())
+	ths := []core.Thread{
+		{N: 50000, CPIBase: 1.2, Err: core.ConstErr(0.9, 0.3)},
+		{N: 45000, CPIBase: 1.1, Err: core.ConstErr(0.8, 0.1)},
+		{N: 52000, CPIBase: 1.3, Err: core.ConstErr(0.75, 0.05)},
+		{N: 48000, CPIBase: 1.2, Err: core.ConstErr(0.7, 0.02)},
+	}
+	names := []string{
+		"BuildProfilesSerial/radix/SimpleALU",
+		"BuildProfiles/radix/SimpleALU",
+		"SolvePoly/4threads",
+		"DelayTrace/SimpleALU",
+		"MeasureCPI/radix",
+		"obs/CounterDisabled",
+		"obs/CounterEnabled",
+	}
+	suite := map[string]func(b *testing.B){
+		"BuildProfilesSerial/radix/SimpleALU": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.BuildProfilesSerial(streams, trace.SimpleALU, cpu.DefaultL1()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"BuildProfiles/radix/SimpleALU": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := trace.BuildProfiles(streams, trace.SimpleALU, cpu.DefaultL1()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		},
+		"SolvePoly/4threads": func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				core.SolvePoly(cfg, ths, 0.05)
+			}
+		},
+		"DelayTrace/SimpleALU": func(b *testing.B) {
+			sc := trace.NewStageCircuit(trace.SimpleALU)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc.DelayTrace(iv)
+			}
+		},
+		"MeasureCPI/radix": func(b *testing.B) {
+			cache, err := cpu.NewCache(cpu.DefaultL1())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				cpu.MeasureCPI(iv, cache)
+			}
+		},
+		"obs/CounterDisabled": func(b *testing.B) {
+			obs.Disable()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				obs.C("bench.counter").Add(1)
+			}
+		},
+		"obs/CounterEnabled": func(b *testing.B) {
+			obs.Enable()
+			defer obs.Disable()
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				obs.C("bench.counter").Add(1)
+			}
+		},
+	}
+	return names, suite, nil
+}
+
+// runBenchReport executes the suite and returns the report.
+func runBenchReport(size int, verbose bool, stderr io.Writer) (*BenchReport, error) {
+	names, suite, err := benchSuite(size)
+	if err != nil {
+		return nil, err
+	}
+	rep := &BenchReport{
+		Schema:     benchSchema,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	for _, name := range names {
+		if verbose {
+			fmt.Fprintf(stderr, "[bench %s]\n", name)
+		}
+		res := testing.Benchmark(suite[name])
+		rep.Benchmarks = append(rep.Benchmarks, BenchEntry{
+			Name:        name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			AllocsPerOp: res.AllocsPerOp(),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+		})
+	}
+	return rep, nil
+}
+
+// runBenchCmd implements `synts bench [-o FILE] [-size N] [-v]`.
+func runBenchCmd(args []string, stderr io.Writer) error {
+	fs := flag.NewFlagSet("bench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "BENCH_synts.json", "output path for the benchmark JSON report")
+	size := fs.Int("size", 1, "workload size knob for the pipeline benchmarks")
+	verbose := fs.Bool("v", false, "print each benchmark as it starts")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := runBenchReport(*size, *verbose, stderr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d benchmark results to %s\n", len(rep.Benchmarks), *out)
+	return nil
+}

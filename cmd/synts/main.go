@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"synts/internal/exp"
+	"synts/internal/obs"
 	"synts/internal/pool"
 	"synts/internal/report"
 	"synts/internal/trace"
@@ -39,21 +40,34 @@ var (
 	maxIv   = flag.Int("intervals", 3, "barrier intervals analysed per benchmark")
 	jobs    = flag.Int("j", runtime.NumCPU(), "experiments run concurrently (1 = serial; output is identical at any -j)")
 	verbose = flag.Bool("v", false, "print progress to stderr")
+
+	stats      = flag.Bool("stats", false, "print end-of-run metrics/span table to stderr")
+	statsJSON  = flag.String("stats-json", "", "write the metrics snapshot as JSON to `file`")
+	traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing) to `file`")
+	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
+	memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file`")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: synts [flags] <experiment>...\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: synts [flags] <experiment>...\n       synts bench [-o FILE] [-size N]\n\nexperiments:\n")
 		for _, e := range experiments {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
 		}
-		fmt.Fprintf(os.Stderr, "  %-10s run everything\n\nflags:\n", "all")
+		fmt.Fprintf(os.Stderr, "  %-10s run everything\n  %-10s write BENCH_synts.json (machine-readable benchmarks)\n\nflags:\n", "all", "bench")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	if flag.NArg() == 0 {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if flag.Arg(0) == "bench" {
+		if err := runBenchCmd(flag.Args()[1:], os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "synts bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	opts := exp.DefaultOptions()
 	opts.Size = *size
@@ -68,9 +82,27 @@ func main() {
 			names = append(names, e.name)
 		}
 	}
-	if err := runAll(names, opts, *jobs, *verbose, os.Stdout, os.Stderr); err != nil {
+	if obsRequested(*stats, *statsJSON, *traceOut) {
+		obs.Enable()
+	}
+	stopCPU, err := startCPUProfile(*cpuprofile)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "synts: %v\n", err)
-		os.Exit(exitCode(err))
+		os.Exit(1)
+	}
+	runErr := runAll(names, opts, *jobs, *verbose, os.Stdout, os.Stderr)
+	stopCPU()
+	if err := writeObsArtifacts(*stats, *statsJSON, *traceOut, os.Stderr); err != nil {
+		fmt.Fprintf(os.Stderr, "synts: %v\n", err)
+		os.Exit(1)
+	}
+	if err := writeHeapProfile(*memprofile); err != nil {
+		fmt.Fprintf(os.Stderr, "synts: %v\n", err)
+		os.Exit(1)
+	}
+	if runErr != nil {
+		fmt.Fprintf(os.Stderr, "synts: %v\n", runErr)
+		os.Exit(exitCode(runErr))
 	}
 }
 
@@ -118,9 +150,11 @@ func runAll(names []string, opts exp.Options, jobs int, verbose bool, stdout, st
 	go func() {
 		for i, e := range exps {
 			g.Go(func() error {
+				sp := obs.StartSpan("exp.run:" + e.name)
 				start := time.Now()
 				results[i].err = e.run(r, &results[i].buf)
 				results[i].took = time.Since(start)
+				sp.End()
 				close(ready[i])
 				return nil // errors surface in request order below
 			})

@@ -2,11 +2,15 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
 	"synts/internal/exp"
+	"synts/internal/obs"
 )
 
 func TestExperimentRegistry(t *testing.T) {
@@ -108,5 +112,163 @@ func TestRunAllOutputIdenticalAcrossJobCounts(t *testing.T) {
 	}
 	if !strings.Contains(serial, "Table 5.1") || !strings.Contains(serial, "Fig 3.6") {
 		t.Error("output missing expected artefacts")
+	}
+}
+
+// The instrumentation determinism golden: stdout with -stats semantics on
+// at -j 4 must be byte-identical to the plain -j 1 run. Stats go to stderr
+// and files only, so enabling them cannot perturb the artefact stream.
+func TestRunAllOutputIdenticalWithStats(t *testing.T) {
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	names := []string{"table5.1", "fig3.6"}
+
+	var plain bytes.Buffer
+	if err := runAll(names, opts, 1, false, &plain, io.Discard); err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+
+	obs.Enable()
+	defer obs.Disable()
+	var instrumented, stderr bytes.Buffer
+	if err := runAll(names, opts, 4, false, &instrumented, io.Discard); err != nil {
+		t.Fatalf("instrumented run: %v", err)
+	}
+	if err := writeObsArtifacts(true, "", "", &stderr); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != instrumented.String() {
+		t.Error("stdout with -stats at -j 4 differs from plain -j 1 run")
+	}
+	if !strings.Contains(stderr.String(), "run stats") || !strings.Contains(stderr.String(), "exp.run:table5.1") {
+		t.Errorf("stats table missing expected content:\n%s", stderr.String())
+	}
+}
+
+// The -stats-json schema the issue promises: pool queue-wait p95, the
+// BenchCache hit ratio, and per-stage span totals must all be present in
+// the emitted snapshot.
+func TestStatsJSONAndTraceOutSchemas(t *testing.T) {
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	obs.Enable()
+	defer obs.Disable()
+	// fig3.5 twice at -j 1: the second, strictly-later lookup hits the
+	// bench and profile caches (at higher -j it would be a singleflight
+	// wait), making the hit ratio deterministically positive.
+	if err := runAll([]string{"fig3.5", "fig3.5"}, opts, 1, false, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	statsPath := filepath.Join(dir, "stats.json")
+	tracePath := filepath.Join(dir, "trace.json")
+	if err := writeObsArtifacts(false, statsPath, tracePath, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(statsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("stats-json is not a snapshot: %v", err)
+	}
+	qw, ok := snap.Histograms["pool.queue_wait_ns"]
+	if !ok || qw.Count == 0 {
+		t.Fatalf("missing pool queue-wait histogram: %+v", snap.Histograms)
+	}
+	if qw.P95 < qw.P50 || qw.P99 < qw.P95 {
+		t.Errorf("quantiles not monotone: %+v", qw)
+	}
+	ratio, ok := snap.Derived["exp.benchcache.hit_ratio"]
+	if !ok {
+		t.Fatal("missing derived exp.benchcache.hit_ratio")
+	}
+	if ratio <= 0 || ratio > 1 {
+		t.Errorf("hit ratio = %v, want in (0,1] after a repeated experiment", ratio)
+	}
+	if agg := snap.Spans["trace.build_profiles:SimpleALU"]; agg.Count != 1 || agg.TotalNs <= 0 {
+		t.Errorf("per-stage build span totals = %+v, want exactly one SimpleALU build", agg)
+	}
+
+	rawTrace, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(rawTrace, &events); err != nil {
+		t.Fatalf("trace-out is not a JSON array: %v", err)
+	}
+	seen := map[string]bool{}
+	for i, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Fatalf("event %d missing %q", i, key)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Fatalf("event %d: ph = %v", i, ev["ph"])
+		}
+		name := ev["name"].(string)
+		switch {
+		case name == "pool.task":
+			seen["pool"] = true
+		case strings.HasPrefix(name, "trace.interval_build:"):
+			seen["build"] = true
+		case strings.HasPrefix(name, "exp.run:"):
+			seen["exp"] = true
+		}
+	}
+	for _, kind := range []string{"pool", "build", "exp"} {
+		if !seen[kind] {
+			t.Errorf("trace covers no %s events", kind)
+		}
+	}
+}
+
+// The bench reporter must emit the documented schema with plausible
+// numbers for every suite entry.
+func TestBenchReportSchema(t *testing.T) {
+	if testing.Short() {
+		t.Skip("bench suite takes tens of seconds")
+	}
+	rep, err := runBenchReport(1, false, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != benchSchema {
+		t.Errorf("schema = %q", rep.Schema)
+	}
+	if rep.GoMaxProcs <= 0 || rep.Timestamp == "" || rep.GoVersion == "" {
+		t.Errorf("missing metadata: %+v", rep)
+	}
+	names, _, err := benchSuite(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != len(names) {
+		t.Fatalf("%d results, want %d", len(rep.Benchmarks), len(names))
+	}
+	for _, e := range rep.Benchmarks {
+		if e.Name == "" || e.Iterations <= 0 || e.NsPerOp <= 0 {
+			t.Errorf("implausible entry: %+v", e)
+		}
+	}
+	var disabled, enabled BenchEntry
+	for _, e := range rep.Benchmarks {
+		switch e.Name {
+		case "obs/CounterDisabled":
+			disabled = e
+		case "obs/CounterEnabled":
+			enabled = e
+		}
+	}
+	if disabled.NsPerOp <= 0 || disabled.NsPerOp > enabled.NsPerOp {
+		t.Errorf("disabled counter (%v ns/op) must be cheaper than enabled (%v ns/op)",
+			disabled.NsPerOp, enabled.NsPerOp)
+	}
+	if disabled.AllocsPerOp != 0 {
+		t.Errorf("disabled counter allocates %d per op, want 0", disabled.AllocsPerOp)
 	}
 }

@@ -1,0 +1,109 @@
+package main
+
+// Observability wiring for cmd/synts: the -stats / -stats-json / -trace-out
+// flags turn the obs layer on for the run and export it afterwards, and
+// -cpuprofile / -memprofile expose the stdlib pprof profilers. Everything
+// here writes to stderr or to named files — stdout carries only the
+// experiment artefacts, so instrumented runs stay byte-identical to plain
+// ones (asserted by TestRunAllOutputIdenticalWithStats).
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime/pprof"
+
+	"synts/internal/obs"
+)
+
+// obsRequested reports whether any instrumentation sink was asked for.
+func obsRequested(stats bool, statsJSON, traceOut string) bool {
+	return stats || statsJSON != "" || traceOut != ""
+}
+
+// obsSnapshot digests the default registry and attaches the derived ratios
+// the snapshot schema promises (see cmd/obscheck).
+func obsSnapshot() *obs.Snapshot {
+	s := obs.Default().Snapshot()
+	s.AddDerived("exp.benchcache.hit_ratio",
+		s.Ratio("exp.benchcache.hit", "exp.benchcache.hit", "exp.benchcache.miss", "exp.benchcache.wait"))
+	s.AddDerived("exp.profiles.hit_ratio",
+		s.Ratio("exp.profiles.hit", "exp.profiles.hit", "exp.profiles.miss", "exp.profiles.wait"))
+	s.AddDerived("cpu.cache.hit_ratio", s.Ratio("cpu.cache.hits", "cpu.cache.accesses"))
+	return s
+}
+
+// writeObsArtifacts emits the end-of-run stats table (-stats), JSON
+// snapshot (-stats-json) and Chrome trace (-trace-out).
+func writeObsArtifacts(stats bool, statsJSON, traceOut string, stderr io.Writer) error {
+	if !obsRequested(stats, statsJSON, traceOut) {
+		return nil
+	}
+	snap := obsSnapshot()
+	if stats {
+		snap.WriteTable(stderr)
+	}
+	if statsJSON != "" {
+		f, err := os.Create(statsJSON)
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := obs.Default().WriteChromeTrace(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// startCPUProfile begins a pprof CPU profile; the returned stop function
+// is safe to call exactly once.
+func startCPUProfile(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// writeHeapProfile dumps a heap profile at end of run.
+func writeHeapProfile(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("heap profile: %w", err)
+	}
+	return nil
+}

@@ -127,12 +127,24 @@ func (c *Cache) Flush() {
 	}
 }
 
-// CPIResult reports the baseline (error-free) CPI of an instruction window.
+// CPIResult reports the baseline (error-free) CPI of an instruction window
+// together with the cache outcome that produced it, so observability
+// counters (obs "cpu.cache.*") can be fed from the same simulation pass
+// instead of replaying the window.
 type CPIResult struct {
 	Instructions int
 	Accesses     int
+	Hits         int
 	Misses       int
 	CPI          float64
+}
+
+// HitRatio returns Hits/Accesses (0 when the window made no accesses).
+func (r CPIResult) HitRatio() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Accesses)
 }
 
 // MeasureCPI replays an instruction window through the cache and returns
@@ -146,7 +158,9 @@ func MeasureCPI(iv []isa.Inst, c *Cache) CPIResult {
 			continue
 		}
 		res.Accesses++
-		if !c.Access(in.Addr) {
+		if c.Access(in.Addr) {
+			res.Hits++
+		} else {
 			res.Misses++
 		}
 	}

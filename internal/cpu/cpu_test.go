@@ -187,3 +187,26 @@ func TestArrivalTimesMismatchPanics(t *testing.T) {
 	}()
 	ArrivalTimes([]int{1}, []float64{1, 2}, 1)
 }
+
+func TestMeasureCPIHitMissCounts(t *testing.T) {
+	c, _ := NewCache(DefaultL1())
+	iv := []isa.Inst{
+		{Op: isa.LD, Addr: 0x1000},
+		{Op: isa.LD, Addr: 0x1004}, // same line: hit
+		{Op: isa.ADD},              // non-memory: no access
+		{Op: isa.ST, Addr: 0x2000},
+	}
+	res := MeasureCPI(iv, c)
+	if res.Accesses != 3 || res.Hits != 1 || res.Misses != 2 {
+		t.Fatalf("accesses/hits/misses = %d/%d/%d, want 3/1/2", res.Accesses, res.Hits, res.Misses)
+	}
+	if res.Hits+res.Misses != res.Accesses {
+		t.Fatal("hit and miss counts must partition the accesses")
+	}
+	if got, want := res.HitRatio(), 1.0/3.0; got != want {
+		t.Fatalf("hit ratio = %v, want %v", got, want)
+	}
+	if (CPIResult{}).HitRatio() != 0 {
+		t.Fatal("hit ratio of an access-free window must be 0")
+	}
+}

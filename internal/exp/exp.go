@@ -6,9 +6,11 @@ package exp
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"synts/internal/core"
 	"synts/internal/cpu"
+	"synts/internal/obs"
 	"synts/internal/trace"
 	"synts/internal/vscale"
 	"synts/internal/workload"
@@ -76,11 +78,31 @@ type Bench struct {
 // profileEntry singleflights one stage's profile build: concurrent callers
 // share the sync.Once, so exactly one goroutine computes while the others
 // block on it — and builds for *different* stages proceed concurrently
-// instead of serializing on a whole-map lock.
+// instead of serializing on a whole-map lock. done flips once the build has
+// finished, letting the obs layer classify later callers as cache hits
+// rather than singleflight waiters.
 type profileEntry struct {
 	once sync.Once
+	done atomic.Bool
 	p    [][]*trace.Profile
 	err  error
+}
+
+// classifyLookup bumps the hit/miss/singleflight-wait counter for one
+// memoized lookup: a fresh entry is a miss, an entry whose build is still
+// in flight is a wait, and a finished entry is a hit.
+func classifyLookup(prefix string, existed, done bool) {
+	if !obs.Enabled() {
+		return
+	}
+	switch {
+	case !existed:
+		obs.C(prefix + ".miss").Add(1)
+	case done:
+		obs.C(prefix + ".hit").Add(1)
+	default:
+		obs.C(prefix + ".wait").Add(1)
+	}
 }
 
 // buildProfiles is swapped out by tests that count build invocations.
@@ -121,8 +143,12 @@ func (b *Bench) Profiles(stage trace.Stage) ([][]*trace.Profile, error) {
 		b.profiles[stage] = e
 	}
 	b.mu.Unlock()
+	classifyLookup("exp.profiles", ok, e.done.Load())
 	e.once.Do(func() {
+		sp := obs.StartSpan("exp.profiles.build:" + b.Name + ":" + stage.String())
 		e.p, e.err = buildProfiles(b.Streams, stage, b.Opts.Cache)
+		sp.End()
+		e.done.Store(true)
 	})
 	return e.p, e.err
 }
@@ -143,6 +169,7 @@ type benchKey struct {
 
 type benchEntry struct {
 	once sync.Once
+	done atomic.Bool
 	b    *Bench
 	err  error
 }
@@ -166,8 +193,12 @@ func (c *BenchCache) Load(name string, opts Options) (*Bench, error) {
 		c.m[key] = e
 	}
 	c.mu.Unlock()
+	classifyLookup("exp.benchcache", ok, e.done.Load())
 	e.once.Do(func() {
+		sp := obs.StartSpan("exp.bench.load:" + name)
 		e.b, e.err = loadBenchImpl(name, opts)
+		sp.End()
+		e.done.Store(true)
 	})
 	return e.b, e.err
 }
@@ -204,6 +235,14 @@ func SolveAll(cfg *core.Config, intervals [][]core.Thread, solve func(*core.Conf
 		tot.Time += m.TExec
 	}
 	return tot
+}
+
+// TimedSolveAll is SolveAll wrapped in an obs span named after the solver,
+// so per-theta solver calls show up in the -stats span totals and as
+// events in the Chrome trace.
+func TimedSolveAll(name string, cfg *core.Config, intervals [][]core.Thread, solve func(*core.Config, []core.Thread, float64) (core.Assignment, core.Metrics), theta float64) Totals {
+	defer obs.StartSpan("exp.solve:" + name).End()
+	return SolveAll(cfg, intervals, solve, theta)
 }
 
 func emptyInterval(ths []core.Thread) bool {

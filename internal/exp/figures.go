@@ -8,6 +8,7 @@ import (
 	"synts/internal/gpgpu"
 	"synts/internal/mcsim"
 	"synts/internal/netlist"
+	"synts/internal/obs"
 	"synts/internal/pool"
 	"synts/internal/razor"
 	"synts/internal/report"
@@ -353,6 +354,7 @@ type ParetoResult struct {
 // The (solver, theta) grid fans out over the worker pool; every point lands
 // at its own index, so the curves are identical to a serial sweep.
 func Pareto(b *Bench, stage trace.Stage) (*ParetoResult, error) {
+	defer obs.StartSpan("exp.pareto:" + b.Name + ":" + stage.String()).End()
 	ivs, err := b.Intervals(stage)
 	if err != nil {
 		return nil, err
@@ -373,7 +375,7 @@ func Pareto(b *Bench, stage trace.Stage) (*ParetoResult, error) {
 	}
 	if err := pool.ForEach(0, len(solvers)*len(thetas), func(i int) error {
 		si, wi := i/len(thetas), i%len(thetas)
-		tot := SolveAll(cfg, ivs, solvers[si].Solve, thetas[wi])
+		tot := TimedSolveAll(solvers[si].Name, cfg, ivs, solvers[si].Solve, thetas[wi])
 		curves[si][wi] = ParetoPoint{
 			Weight: DefaultWeights()[wi],
 			Time:   tot.Time / nom.Time,
@@ -537,10 +539,10 @@ func Fig618(benches []*Bench, stage trace.Stage) ([]EDPRow, error) {
 		cfg := Platform(stage, b.Opts)
 		theta := ThetaGrid(cfg, ivs, []float64{1})[0]
 
-		offline := SolveAll(cfg, ivs, core.SolvePoly, theta)
-		percore := SolveAll(cfg, ivs, core.SolvePerCore, theta)
-		nots := SolveAll(cfg, ivs, core.SolveNoTS, theta)
-		nominal := SolveAll(cfg, ivs, core.SolveNominal, theta)
+		offline := TimedSolveAll("SynTS", cfg, ivs, core.SolvePoly, theta)
+		percore := TimedSolveAll("Per-core TS", cfg, ivs, core.SolvePerCore, theta)
+		nots := TimedSolveAll("No TS", cfg, ivs, core.SolveNoTS, theta)
+		nominal := TimedSolveAll("Nominal", cfg, ivs, core.SolveNominal, theta)
 		online, err := solveOnlineAll(b, cfg, stage, theta)
 		if err != nil {
 			return err
@@ -596,6 +598,7 @@ func maxIntSlice(xs []int) int {
 
 // solveOnlineAll runs online SynTS (sampling + Poly) over every interval.
 func solveOnlineAll(b *Bench, cfg *core.Config, stage trace.Stage, theta float64) (Totals, error) {
+	defer obs.StartSpan("exp.solve:SynTS-online").End()
 	profs, err := b.Profiles(stage)
 	if err != nil {
 		return Totals{}, err

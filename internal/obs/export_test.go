@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// The snapshot must round-trip through JSON with the documented schema
+// keys — the contract the -stats-json consumers (CI's obscheck, future
+// dashboards) parse against.
+func TestSnapshotJSONSchema(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("exp.benchcache.hit").Add(3)
+	r.Counter("exp.benchcache.miss").Add(1)
+	r.Histogram("pool.queue_wait_ns").Observe(1500)
+	sp := r.StartSpan("trace.build_profiles:SimpleALU")
+	time.Sleep(time.Millisecond)
+	sp.End()
+
+	s := r.Snapshot()
+	s.AddDerived("exp.benchcache.hit_ratio", s.Ratio("exp.benchcache.hit", "exp.benchcache.hit", "exp.benchcache.miss"))
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	for _, key := range []string{"timestamp", "gomaxprocs", "counters", "gauges", "histograms", "spans", "derived"} {
+		if _, ok := decoded[key]; !ok {
+			t.Errorf("snapshot JSON missing top-level key %q", key)
+		}
+	}
+	var hists map[string]HistSummary
+	if err := json.Unmarshal(decoded["histograms"], &hists); err != nil {
+		t.Fatal(err)
+	}
+	h, ok := hists["pool.queue_wait_ns"]
+	if !ok {
+		t.Fatal("histograms missing pool.queue_wait_ns")
+	}
+	if h.Count != 1 || h.P95 <= 0 {
+		t.Errorf("queue-wait summary = %+v, want count 1 and positive p95", h)
+	}
+	var derived map[string]float64
+	if err := json.Unmarshal(decoded["derived"], &derived); err != nil {
+		t.Fatal(err)
+	}
+	if got := derived["exp.benchcache.hit_ratio"]; got != 0.75 {
+		t.Errorf("hit ratio = %v, want 0.75", got)
+	}
+	var spans map[string]SpanSummary
+	if err := json.Unmarshal(decoded["spans"], &spans); err != nil {
+		t.Fatal(err)
+	}
+	if agg := spans["trace.build_profiles:SimpleALU"]; agg.Count != 1 || agg.TotalNs <= 0 {
+		t.Errorf("span summary = %+v, want one span with positive total", agg)
+	}
+}
+
+func TestSnapshotRatioZeroDenominator(t *testing.T) {
+	s := NewRegistry().Snapshot()
+	if got := s.Ratio("a", "b", "c"); got != 0 {
+		t.Errorf("ratio with zero denominator = %v, want 0", got)
+	}
+}
+
+func TestWriteTableMentionsSections(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c").Add(1)
+	r.Histogram("h").Observe(10)
+	sp := r.StartSpan("s")
+	sp.End()
+	s := r.Snapshot()
+	s.AddDerived("d", 0.5)
+	var buf bytes.Buffer
+	s.WriteTable(&buf)
+	out := buf.String()
+	for _, want := range []string{"counters:", "histograms", "spans:", "derived:", "GOMAXPROCS"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("stats table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Chrome trace export: valid trace-event JSON (array of {name,ph,ts,dur,
+// pid,tid}), with unattributed spans attached to their enclosing worker
+// span's row by time containment.
+func TestChromeTraceSchemaAndTIDContainment(t *testing.T) {
+	r := NewRegistry()
+	worker := r.StartSpan("pool.task")
+	worker.SetTID(3)
+	inner := r.StartSpan("trace.interval_build") // no TID: must inherit row 3
+	time.Sleep(2 * time.Millisecond)
+	inner.End()
+	worker.End()
+	outside := r.StartSpan("exp.run") // after the worker span: row 0
+	outside.End()
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("trace is not a JSON array: %v", err)
+	}
+	if len(events) != 3 {
+		t.Fatalf("got %d events, want 3", len(events))
+	}
+	for _, ev := range events {
+		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+			if _, ok := ev[key]; !ok {
+				t.Errorf("event missing key %q: %v", key, ev)
+			}
+		}
+		if ev["ph"] != "X" {
+			t.Errorf("event ph = %v, want X", ev["ph"])
+		}
+	}
+	byName := map[string]float64{}
+	for _, ev := range events {
+		byName[ev["name"].(string)] = ev["tid"].(float64)
+	}
+	if byName["pool.task"] != 3 {
+		t.Errorf("pool.task tid = %v, want 3", byName["pool.task"])
+	}
+	if byName["trace.interval_build"] != 3 {
+		t.Errorf("contained span tid = %v, want worker row 3", byName["trace.interval_build"])
+	}
+	if byName["exp.run"] != 0 {
+		t.Errorf("uncontained span tid = %v, want 0", byName["exp.run"])
+	}
+}
+
+func TestChromeTraceEventsSortedByTs(t *testing.T) {
+	r := NewRegistry()
+	for i := 0; i < 5; i++ {
+		sp := r.StartSpan("s")
+		sp.End()
+	}
+	ev := r.ChromeTraceEvents()
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Ts < ev[i-1].Ts {
+			t.Fatalf("events not sorted by ts at %d", i)
+		}
+	}
+}

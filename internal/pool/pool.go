@@ -4,11 +4,19 @@
 // (concurrent experiment drivers in cmd/synts, per-benchmark fan-out in
 // internal/exp). Results are always assembled by index on the caller's
 // side, so bounded concurrency never perturbs output order.
+//
+// When the obs layer is enabled the pool reports tasks submitted/completed,
+// queue wait (submission to slot acquisition) and worker busy time, and
+// wraps every task in a span pinned to its worker's Chrome-trace row; with
+// obs disabled the added cost is one atomic load per Go call.
 package pool
 
 import (
 	"runtime"
 	"sync"
+	"time"
+
+	"synts/internal/obs"
 )
 
 // Group runs tasks on at most limit goroutines at a time. Go blocks the
@@ -17,11 +25,12 @@ import (
 // task returns a non-nil error, subsequent Go calls skip their task and
 // Wait returns the first error.
 type Group struct {
-	sem  chan struct{}
+	sem  chan int // worker slot ids; receive to acquire, send back to release
 	wg   sync.WaitGroup
 	once sync.Once
 	err  error
 	done chan struct{}
+	tid0 int // first Chrome-trace row of this pool's workers (0 = untracked)
 }
 
 // New returns a Group limited to the given number of concurrently running
@@ -30,30 +39,58 @@ func New(limit int) *Group {
 	if limit <= 0 {
 		limit = runtime.GOMAXPROCS(0)
 	}
-	return &Group{
-		sem:  make(chan struct{}, limit),
+	g := &Group{
+		sem:  make(chan int, limit),
 		done: make(chan struct{}),
 	}
+	for i := 0; i < limit; i++ {
+		g.sem <- i
+	}
+	if obs.Enabled() {
+		g.tid0 = obs.NextTIDBlock(limit)
+	}
+	return g
 }
 
 // Go submits a task, blocking until a worker slot is free. If an earlier
 // task has already failed, the task is dropped without running: the pool's
 // contract is first-error cancellation, not best-effort completion.
 func (g *Group) Go(fn func() error) {
+	var submitted time.Time
+	if obs.Enabled() {
+		submitted = time.Now()
+		obs.C("pool.tasks.submitted").Add(1)
+	}
 	select {
 	case <-g.done:
 		return
 	default:
 	}
+	var slot int
 	select {
 	case <-g.done:
 		return
-	case g.sem <- struct{}{}:
+	case slot = <-g.sem:
+	}
+	if !submitted.IsZero() {
+		obs.H("pool.queue_wait_ns").Observe(float64(time.Since(submitted)))
 	}
 	g.wg.Add(1)
 	go func() {
+		var sp *obs.Span
+		var started time.Time
+		if obs.Enabled() {
+			sp = obs.StartSpan("pool.task")
+			sp.SetTID(g.tid0 + slot)
+			started = time.Now()
+		}
 		defer func() {
-			<-g.sem
+			if !started.IsZero() {
+				obs.H("pool.worker_busy_ns").Observe(float64(time.Since(started)))
+				obs.C("pool.tasks.completed").Add(1)
+			}
+			sp.End()
+			g.sem <- slot
 			g.wg.Done()
 		}()
 		if err := fn(); err != nil {

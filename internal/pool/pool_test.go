@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"synts/internal/obs"
 )
 
 func TestZeroTasks(t *testing.T) {
@@ -158,5 +160,75 @@ func TestForEachError(t *testing.T) {
 func TestForEachZeroTasks(t *testing.T) {
 	if err := ForEach(4, 0, func(int) error { return errors.New("never") }); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// With the obs layer enabled the pool must account every task exactly once
+// (submitted == completed), time queue waits and worker busy spans, and pin
+// each task span to a distinct per-worker trace row.
+func TestPoolMetricsAndSpans(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	const n = 20
+	var ran atomic.Int64
+	if err := ForEach(3, n, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran.Load() != n {
+		t.Fatalf("ran %d tasks, want %d", ran.Load(), n)
+	}
+	snap := obs.Default().Snapshot()
+	if got := snap.Counters["pool.tasks.submitted"]; got != n {
+		t.Errorf("submitted = %d, want %d", got, n)
+	}
+	if got := snap.Counters["pool.tasks.completed"]; got != n {
+		t.Errorf("completed = %d, want %d", got, n)
+	}
+	if got := snap.Histograms["pool.queue_wait_ns"].Count; got != n {
+		t.Errorf("queue-wait observations = %d, want %d", got, n)
+	}
+	if got := snap.Histograms["pool.worker_busy_ns"].Count; got != n {
+		t.Errorf("worker-busy observations = %d, want %d", got, n)
+	}
+	sp := snap.Spans["pool.task"]
+	if sp.Count != n {
+		t.Errorf("pool.task spans = %d, want %d", sp.Count, n)
+	}
+	tids := map[int]bool{}
+	for _, ev := range obs.Default().ChromeTraceEvents() {
+		if ev.Name == "pool.task" {
+			tids[ev.Tid] = true
+		}
+	}
+	if len(tids) == 0 || len(tids) > 3 {
+		t.Errorf("task spans landed on %d worker rows, want 1..3", len(tids))
+	}
+	for tid := range tids {
+		if tid < 1 {
+			t.Errorf("worker row %d: rows must start at 1 (0 is the main row)", tid)
+		}
+	}
+}
+
+// Metrics recording must not perturb the pool's error contract.
+func TestPoolMetricsWithError(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	boom := errors.New("boom")
+	err := ForEach(2, 10, func(i int) error {
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	snap := obs.Default().Snapshot()
+	if snap.Counters["pool.tasks.completed"] > snap.Counters["pool.tasks.submitted"] {
+		t.Error("completed must never exceed submitted")
 	}
 }

@@ -16,6 +16,7 @@ import (
 	"synts/internal/cpu"
 	"synts/internal/isa"
 	"synts/internal/netlist"
+	"synts/internal/obs"
 	"synts/internal/pool"
 	"synts/internal/timing"
 	"synts/internal/workload"
@@ -224,17 +225,24 @@ func (sc *StageCircuit) DelayTrace(iv []isa.Inst) []float64 {
 	an := timing.NewAnalyzer(sc.Netlist)
 	delays := make([]float64, len(iv))
 	primed := false
+	steps := 0
 	for i, in := range iv {
 		if !sc.Drives(in) {
 			continue // delay 0: inputs held
 		}
 		vec := sc.Vector(in)
+		steps++
 		if !primed {
 			an.Reset(vec) // first driving vector establishes state
 			primed = true
 			continue
 		}
 		delays[i] = an.Step(vec)
+	}
+	if obs.Enabled() {
+		// Each Reset/Step is one levelized pass over every gate.
+		obs.C("trace.gate_evals").Add(int64(steps) * int64(len(sc.Netlist.Gates)))
+		obs.C("trace.instructions").Add(int64(len(iv)))
 	}
 	return delays
 }
@@ -303,6 +311,7 @@ func BuildProfilesWorkers(streams []*workload.Stream, stage Stage, cacheCfg cpu.
 	if len(streams) == 0 {
 		return nil, fmt.Errorf("trace: no streams")
 	}
+	defer obs.StartSpan("trace.build_profiles:" + stage.String()).End()
 	out := make([][]*Profile, len(streams))
 	cpis := make([][]float64, len(streams))
 	for t, s := range streams {
@@ -312,21 +321,31 @@ func BuildProfilesWorkers(streams []*workload.Stream, stage Stage, cacheCfg cpu.
 	g := pool.New(workers)
 	for t, s := range streams {
 		g.Go(func() error {
+			sp := obs.StartSpan("trace.cpi_measure:" + stage.String())
+			defer sp.End()
 			cache, err := cpu.NewCache(cacheCfg)
 			if err != nil {
 				return err
 			}
 			for ii, iv := range s.Intervals {
-				cpis[t][ii] = cpu.MeasureCPI(iv, cache).CPI
+				res := cpu.MeasureCPI(iv, cache)
+				cpis[t][ii] = res.CPI
+				recordCacheCounters(res)
 			}
 			return nil
 		})
 		for ii := range s.Intervals {
 			g.Go(func() error {
+				bsp := obs.StartSpan("trace.interval_build:" + stage.String())
+				defer bsp.End()
 				sc := NewStageCircuit(stage)
+				ssp := bsp.Child("trace.seek_pc")
 				sc.SeekPC(s.Intervals[:ii])
+				ssp.End()
 				iv := s.Intervals[ii]
+				dsp := bsp.Child("trace.delay_trace")
 				delays := sc.DelayTrace(iv)
+				dsp.End()
 				sorted := append([]float64(nil), delays...)
 				sort.Float64s(sorted)
 				out[t][ii] = &Profile{
@@ -360,6 +379,7 @@ func BuildProfilesSerial(streams []*workload.Stream, stage Stage, cacheCfg cpu.C
 	if len(streams) == 0 {
 		return nil, fmt.Errorf("trace: no streams")
 	}
+	defer obs.StartSpan("trace.build_profiles:" + stage.String()).End()
 	out := make([][]*Profile, len(streams))
 	for t, s := range streams {
 		sc := NewStageCircuit(stage)
@@ -372,11 +392,13 @@ func BuildProfilesSerial(streams []*workload.Stream, stage Stage, cacheCfg cpu.C
 			delays := sc.DelayTrace(iv)
 			sorted := append([]float64(nil), delays...)
 			sort.Float64s(sorted)
+			res := cpu.MeasureCPI(iv, cache)
+			recordCacheCounters(res)
 			out[t][ii] = &Profile{
 				Thread:       t,
 				Interval:     ii,
 				N:            len(iv),
-				CPIBase:      cpu.MeasureCPI(iv, cache).CPI,
+				CPIBase:      res.CPI,
 				TCrit:        sc.TCrit,
 				Delays:       delays,
 				SortedDelays: sorted,
@@ -384,6 +406,18 @@ func BuildProfilesSerial(streams []*workload.Stream, stage Stage, cacheCfg cpu.C
 		}
 	}
 	return out, nil
+}
+
+// recordCacheCounters surfaces one CPI measurement's cache outcome to the
+// obs layer, reusing the counts MeasureCPI already collected so no second
+// simulation pass is needed.
+func recordCacheCounters(res cpu.CPIResult) {
+	if !obs.Enabled() {
+		return
+	}
+	obs.C("cpu.cache.accesses").Add(int64(res.Accesses))
+	obs.C("cpu.cache.hits").Add(int64(res.Hits))
+	obs.C("cpu.cache.misses").Add(int64(res.Misses))
 }
 
 // IntervalThreads transposes profiles to [interval][thread] and adapts them

@@ -8,6 +8,7 @@ import (
 
 	"synts/internal/cpu"
 	"synts/internal/isa"
+	"synts/internal/obs"
 	"synts/internal/workload"
 )
 
@@ -339,6 +340,62 @@ func TestIntervalThreadsTranspose(t *testing.T) {
 		}
 		if ivs[ii][1].N != float64(profs[1][ii].N) {
 			t.Fatalf("transpose mixed up N")
+		}
+	}
+}
+
+// Enabling instrumentation must not change a single bit of the profiles:
+// the build with obs on is compared field-for-field against the reference
+// serial build with obs off.
+func TestBuildProfilesUnchangedByInstrumentation(t *testing.T) {
+	k, err := workload.ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 2, 1, 2016)
+	ref, err := BuildProfilesSerial(streams, SimpleALU, cpu.DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.Enable()
+	defer obs.Disable()
+	got, err := BuildProfiles(streams, SimpleALU, cpu.DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("instrumented parallel build differs from uninstrumented serial reference")
+	}
+	snap := obs.Default().Snapshot()
+	if snap.Counters["trace.gate_evals"] == 0 {
+		t.Error("gate-eval counter not recorded")
+	}
+	if snap.Counters["cpu.cache.hits"]+snap.Counters["cpu.cache.misses"] != snap.Counters["cpu.cache.accesses"] {
+		t.Error("cache hit+miss counters must partition accesses")
+	}
+	if snap.Spans["trace.build_profiles:SimpleALU"].Count == 0 {
+		t.Error("build span not recorded")
+	}
+	if snap.Spans["trace.interval_build:SimpleALU"].Count == 0 {
+		t.Error("interval spans not recorded")
+	}
+	if snap.Spans["trace.cpi_measure:SimpleALU"].Count == 0 {
+		t.Error("CPI spans not recorded")
+	}
+}
+
+// BenchmarkBuildProfilesStats is BenchmarkBuildProfilesParallel with the
+// obs layer recording; comparing the two quantifies the enabled overhead,
+// while BenchmarkBuildProfilesParallel itself (obs disabled, the default)
+// vs. the pre-instrumentation baseline is the <2% acceptance criterion.
+func BenchmarkBuildProfilesStats(b *testing.B) {
+	streams := benchProfileStreams(b)
+	obs.Enable()
+	defer obs.Disable()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := BuildProfiles(streams, SimpleALU, cpu.DefaultL1()); err != nil {
+			b.Fatal(err)
 		}
 	}
 }
