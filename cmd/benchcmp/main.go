@@ -1,0 +1,72 @@
+// Command benchcmp compares two BENCH_synts.json reports (synts-bench/v1)
+// and exits nonzero when any benchmark's ns/op regressed by more than the
+// threshold. CI runs it against the previous push's uploaded report so a
+// performance regression fails the build instead of accumulating silently.
+//
+// Usage:
+//
+//	benchcmp [-threshold 0.10] [-min-ns 100] OLD.json NEW.json
+//
+// Benchmarks present on only one side (renames, additions) are reported
+// but never fatal, and entries whose old ns/op is below -min-ns are
+// treated as noise: single-digit-nanosecond ops jitter by tens of percent
+// between runs, so their ratios are informational only.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"synts/internal/benchfmt"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 0.10, "fractional ns/op slowdown that counts as a regression")
+	minNs := flag.Float64("min-ns", 100, "old ns/op below which entries are reported but never fatal")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: benchcmp [flags] OLD.json NEW.json\n\nflags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	old, err := benchfmt.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := benchfmt.ReadFile(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
+		os.Exit(2)
+	}
+
+	deltas, regressions := benchfmt.Compare(old, cur, *threshold, *minNs)
+	fmt.Printf("benchcmp: %s (%s) vs %s (%s), threshold +%.0f%%, noise floor %gns\n",
+		flag.Arg(0), old.Timestamp, flag.Arg(1), cur.Timestamp, *threshold*100, *minNs)
+	for _, d := range deltas {
+		switch {
+		case d.OnlyIn == "new":
+			fmt.Printf("  NEW      %-40s %12.1f ns/op\n", d.Name, d.NewNs)
+		case d.OnlyIn == "old":
+			fmt.Printf("  REMOVED  %-40s %12.1f ns/op\n", d.Name, d.OldNs)
+		case d.Regression:
+			fmt.Printf("  REGRESS  %-40s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
+				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+		case d.BelowFloor:
+			fmt.Printf("  noise    %-40s %12.1f -> %12.1f ns/op  (%+.1f%%, below floor)\n",
+				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+		default:
+			fmt.Printf("  ok       %-40s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
+				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchcmp: no regressions")
+}

@@ -1,16 +1,18 @@
 // Command obscheck validates the observability artifacts a synts run
-// emits: the -stats-json snapshot and the -trace-out Chrome trace. CI runs
-// it against freshly generated files so a schema regression fails the
-// build instead of silently shipping artifacts no dashboard can parse.
+// emits: the -stats-json snapshot, the -trace-out Chrome trace, and the
+// -events-out decision ledger. CI runs it against freshly generated files
+// so a schema regression fails the build instead of silently shipping
+// artifacts no dashboard can parse.
 //
 // Usage:
 //
-//	obscheck -stats stats.json -trace trace.json
+//	obscheck -stats stats.json -trace trace.json -events events.jsonl
 //
-// Either flag may be omitted to check only one artifact.
+// Any flag may be omitted to check only the others.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -18,33 +20,33 @@ import (
 	"strings"
 
 	"synts/internal/obs"
+	"synts/internal/telemetry"
 )
 
 func main() {
 	statsPath := flag.String("stats", "", "path to a -stats-json snapshot")
 	tracePath := flag.String("trace", "", "path to a -trace-out Chrome trace")
+	eventsPath := flag.String("events", "", "path to an -events-out decision ledger (synts-events/v1 JSONL)")
 	flag.Parse()
-	if *statsPath == "" && *tracePath == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats and/or -trace)")
+	if *statsPath == "" && *tracePath == "" && *eventsPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace and/or -events)")
 		os.Exit(2)
 	}
 	failed := false
-	if *statsPath != "" {
-		if err := checkStats(*statsPath); err != nil {
-			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", *statsPath, err)
+	check := func(path string, fn func(string) error) {
+		if path == "" {
+			return
+		}
+		if err := fn(path); err != nil {
+			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", path, err)
 			failed = true
 		} else {
-			fmt.Printf("obscheck: %s ok\n", *statsPath)
+			fmt.Printf("obscheck: %s ok\n", path)
 		}
 	}
-	if *tracePath != "" {
-		if err := checkTrace(*tracePath); err != nil {
-			fmt.Fprintf(os.Stderr, "obscheck: %s: %v\n", *tracePath, err)
-			failed = true
-		} else {
-			fmt.Printf("obscheck: %s ok\n", *tracePath)
-		}
-	}
+	check(*statsPath, checkStats)
+	check(*tracePath, checkTrace)
+	check(*eventsPath, checkEvents)
 	if failed {
 		os.Exit(1)
 	}
@@ -144,6 +146,46 @@ func checkTrace(path string) error {
 		if !seen {
 			return fmt.Errorf("trace covers no %q events", p)
 		}
+	}
+	return nil
+}
+
+// checkEvents enforces the synts-events/v1 ledger contract: the schema
+// header, per-event field validity (kinds, probability ranges, sign
+// constraints), presence of each event kind the pipeline promises, and —
+// by re-serialising and byte-comparing — that the file is in the
+// canonical order WriteJSONL defines, so ledgers stay diffable across
+// runs and -j values.
+func checkEvents(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	events, err := telemetry.ReadJSONL(bytes.NewReader(raw))
+	if err != nil {
+		return err
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("ledger contains no events")
+	}
+	kinds := map[string]int{}
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			return fmt.Errorf("event %d: %w", i+1, err)
+		}
+		kinds[events[i].Kind]++
+	}
+	for _, kind := range []string{telemetry.KindDecision, telemetry.KindBarrier, telemetry.KindEstimate} {
+		if kinds[kind] == 0 {
+			return fmt.Errorf("ledger has no %q events", kind)
+		}
+	}
+	var canon bytes.Buffer
+	if err := telemetry.WriteJSONL(&canon, events); err != nil {
+		return err
+	}
+	if !bytes.Equal(raw, canon.Bytes()) {
+		return fmt.Errorf("ledger is not in canonical order (or uses non-canonical encoding): re-serialising %d events changed the bytes", len(events))
 	}
 	return nil
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"synts/internal/telemetry"
+)
+
+func writeLedger(t *testing.T, events []telemetry.Event) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := telemetry.WriteJSONL(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func goodEvents() []telemetry.Event {
+	return []telemetry.Event{
+		{Kind: telemetry.KindDecision, Bench: "b", Stage: "s", Solver: "SynTS",
+			Core: 0, TSR: 0.3, EstErr: 0.1, ActErr: 0.1, Energy: 1, Time: 2},
+		{Kind: telemetry.KindBarrier, Bench: "b", Stage: "s", Solver: "SynTS",
+			Core: -1, Cores: 2, Energy: 2, Time: 2},
+		{Kind: telemetry.KindEstimate, Bench: "b", Stage: "s",
+			Core: 0, TSR: 0.3, EstErr: 0.12, ActErr: 0.1,
+			SampleBudget: 10, SampleCycles: 15, IntervalCycles: 100},
+	}
+}
+
+func TestCheckEventsAcceptsCanonicalLedger(t *testing.T) {
+	path := writeLedger(t, goodEvents())
+	if err := checkEvents(path); err != nil {
+		t.Fatalf("checkEvents rejected a canonical ledger: %v", err)
+	}
+}
+
+func TestCheckEventsRejects(t *testing.T) {
+	t.Run("invalid event", func(t *testing.T) {
+		evs := goodEvents()
+		evs[0].EstErr = 2 // outside [0,1]
+		path := writeLedger(t, evs)
+		if err := checkEvents(path); err == nil {
+			t.Fatal("accepted a ledger with est_err > 1")
+		}
+	})
+	t.Run("missing kind", func(t *testing.T) {
+		path := writeLedger(t, goodEvents()[:2]) // no estimate event
+		if err := checkEvents(path); err == nil {
+			t.Fatal("accepted a ledger with no estimate events")
+		}
+	})
+	t.Run("non-canonical order", func(t *testing.T) {
+		path := writeLedger(t, goodEvents())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimRight(string(raw), "\n"), "\n")
+		if len(lines) != 4 {
+			t.Fatalf("ledger has %d lines, want header + 3 events", len(lines))
+		}
+		// Swap two event lines; the multiset is unchanged, the order is not.
+		lines[1], lines[2] = lines[2], lines[1]
+		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := checkEvents(path); err == nil {
+			t.Fatal("accepted a ledger in non-canonical order")
+		}
+	})
+	t.Run("wrong schema", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "events.jsonl")
+		if err := os.WriteFile(path, []byte(`{"schema":"synts-events/v0"}`+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := checkEvents(path); err == nil {
+			t.Fatal("accepted a ledger with the wrong schema version")
+		}
+	})
+	t.Run("empty ledger", func(t *testing.T) {
+		path := writeLedger(t, nil)
+		if err := checkEvents(path); err == nil {
+			t.Fatal("accepted an event-free ledger")
+		}
+	})
+}

@@ -17,34 +17,24 @@ import (
 	"testing"
 	"time"
 
+	"synts/internal/benchfmt"
 	"synts/internal/core"
 	"synts/internal/cpu"
 	"synts/internal/exp"
 	"synts/internal/obs"
+	"synts/internal/telemetry"
 	"synts/internal/trace"
 	"synts/internal/workload"
 )
 
-// benchSchema versions the BENCH_synts.json layout.
-const benchSchema = "synts-bench/v1"
+// The schema and document types live in internal/benchfmt, shared with
+// cmd/benchcmp so the writer and the regression gate parse one format.
+const benchSchema = benchfmt.Schema
 
-// BenchReport is the top-level BENCH_synts.json document.
-type BenchReport struct {
-	Schema     string       `json:"schema"`
-	Timestamp  string       `json:"timestamp"`
-	GoVersion  string       `json:"go"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	Benchmarks []BenchEntry `json:"benchmarks"`
-}
-
-// BenchEntry is one benchmark's result.
-type BenchEntry struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-}
+type (
+	BenchReport = benchfmt.Report
+	BenchEntry  = benchfmt.Entry
+)
 
 // benchSuite returns the named benchmark closures. The suite deliberately
 // spans the layers the obs package instruments: the profile pipeline
@@ -73,6 +63,8 @@ func benchSuite(size int) ([]string, map[string]func(b *testing.B), error) {
 		"MeasureCPI/radix",
 		"obs/CounterDisabled",
 		"obs/CounterEnabled",
+		"telemetry/RecordDisabled",
+		"telemetry/RecordEnabled",
 	}
 	suite := map[string]func(b *testing.B){
 		"BuildProfilesSerial/radix/SimpleALU": func(b *testing.B) {
@@ -127,6 +119,23 @@ func benchSuite(size int) ([]string, map[string]func(b *testing.B), error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				obs.C("bench.counter").Add(1)
+			}
+		},
+		"telemetry/RecordDisabled": func(b *testing.B) {
+			telemetry.Disable()
+			ev := telemetry.Event{Kind: telemetry.KindDecision, Bench: "bench", Stage: "SimpleALU", Solver: "SynTS"}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				telemetry.Record(ev)
+			}
+		},
+		"telemetry/RecordEnabled": func(b *testing.B) {
+			telemetry.Enable()
+			defer telemetry.Disable()
+			ev := telemetry.Event{Kind: telemetry.KindDecision, Bench: "bench", Stage: "SimpleALU", Solver: "SynTS"}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				telemetry.Record(ev)
 			}
 		},
 	}

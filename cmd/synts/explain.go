@@ -1,0 +1,164 @@
+package main
+
+// `synts explain` turns the decision ledger into the paper-facing
+// analysis the ROADMAP asks for: per-core error-probability-vs-TSR curves
+// (estimate against full-trace truth), the estimator's divergence
+// percentiles, the online sampling overhead as a fraction of interval
+// cycles (the §6.3 question), and a per-solver decision rollup. It either
+// aggregates an existing -events ledger or runs the named benchmark's
+// solvers itself with the ledger enabled.
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+
+	"synts/internal/core"
+	"synts/internal/exp"
+	"synts/internal/report"
+	"synts/internal/telemetry"
+	"synts/internal/trace"
+)
+
+func runExplainCmd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	eventsIn := fs.String("events", "", "aggregate an existing ledger `file` instead of running the benchmark")
+	size := fs.Int("size", 2, "workload size knob")
+	seed := fs.Int64("seed", 2016, "workload data seed")
+	threads := fs.Int("threads", 4, "cores/threads")
+	maxIv := fs.Int("intervals", 3, "barrier intervals analysed")
+	stageName := fs.String("stage", "", "restrict to one pipe stage (Decode, SimpleALU, ComplexALU)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: synts explain [-events FILE] [flags] <benchmark>\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	bench := fs.Arg(0)
+	if bench == "" && *eventsIn == "" {
+		fs.Usage()
+		return fmt.Errorf("need a benchmark name or -events FILE")
+	}
+
+	var stages []trace.Stage
+	if *stageName != "" {
+		st, err := exp.StageByName(*stageName)
+		if err != nil {
+			return err
+		}
+		stages = []trace.Stage{st}
+	} else {
+		stages = trace.Stages()
+	}
+
+	var events []telemetry.Event
+	if *eventsIn != "" {
+		var err error
+		events, err = telemetry.ReadJSONLFile(*eventsIn)
+		if err != nil {
+			return err
+		}
+	} else {
+		opts := exp.DefaultOptions()
+		opts.Size = *size
+		opts.Seed = *seed
+		opts.Threads = *threads
+		opts.MaxIntervals = *maxIv
+		var err error
+		events, err = explainLedger(bench, opts, stages)
+		if err != nil {
+			return err
+		}
+	}
+
+	summaries := telemetry.Aggregate(events, bench)
+	if *stageName != "" {
+		kept := summaries[:0]
+		for _, s := range summaries {
+			if s.Stage == *stageName {
+				kept = append(kept, s)
+			}
+		}
+		summaries = kept
+	}
+	if len(summaries) == 0 {
+		return fmt.Errorf("no ledger events for benchmark %q", bench)
+	}
+	for _, s := range summaries {
+		renderStageExplain(stdout, s)
+	}
+	return nil
+}
+
+// explainLedger runs the benchmark's solvers — the four offline
+// approaches and online SynTS with its sampling phase — at the balanced
+// theta with the ledger recording, and returns the recorded events.
+func explainLedger(bench string, opts exp.Options, stages []trace.Stage) ([]telemetry.Event, error) {
+	b, err := exp.LoadBench(bench, opts)
+	if err != nil {
+		return nil, err
+	}
+	telemetry.Enable()
+	defer telemetry.Disable()
+	for _, st := range stages {
+		ivs, err := b.Intervals(st)
+		if err != nil {
+			return nil, err
+		}
+		cfg := exp.Platform(st, b.Opts)
+		theta := exp.ThetaGrid(cfg, ivs, []float64{1})[0]
+		sc := telemetry.Scope{Bench: b.Name, Stage: st.String()}
+		for _, solver := range core.Solvers() {
+			exp.TimedSolveAll(sc, solver.Name, cfg, ivs, solver.Solve, theta)
+		}
+		if _, err := exp.SolveOnlineAll(b, cfg, st, theta); err != nil {
+			return nil, err
+		}
+	}
+	return telemetry.Events(), nil
+}
+
+// renderStageExplain writes one (bench, stage) summary as tables plus the
+// headline divergence and overhead lines.
+func renderStageExplain(w io.Writer, s *telemetry.StageSummary) {
+	curve := &report.Table{
+		Title:   fmt.Sprintf("Explain %s / %s: error probability vs TSR (sampling estimate vs full trace)", s.Bench, s.Stage),
+		Headers: []string{"core", "TSR", "est err", "act err", "|est-act|"},
+	}
+	for _, cc := range s.Curves {
+		for _, p := range cc.Points {
+			curve.AddRow(cc.Core, p.TSR, p.EstErr, p.ActErr, math.Abs(p.EstErr-p.ActErr))
+		}
+	}
+	if len(s.Curves) > 0 {
+		curve.Render(w)
+	} else {
+		fmt.Fprintf(w, "Explain %s / %s: no estimate events in the ledger (offline-only run?)\n", s.Bench, s.Stage)
+	}
+
+	d := s.Divergence
+	fmt.Fprintf(w, "  estimator divergence |est-act| over %d samples: p50=%.4g p95=%.4g p99=%.4g max=%.4g\n",
+		d.N, d.P50, d.P95, d.P99, d.Max)
+	if s.IntervalCycles > 0 {
+		fmt.Fprintf(w, "  online sampling overhead: %.3f%% of interval cycles (%.4g of %.4g); %.3f%% of instructions sampled\n",
+			s.Overhead*100, s.SampleCycles, s.IntervalCycles,
+			100*s.SampledInstrs/math.Max(s.TotalInstrs, 1))
+	} else {
+		fmt.Fprintln(w, "  online sampling overhead: n/a (no sampling events)")
+	}
+
+	if len(s.Solvers) > 0 {
+		solvers := &report.Table{
+			Title:   fmt.Sprintf("Explain %s / %s: solver decisions", s.Bench, s.Stage),
+			Headers: []string{"solver", "decisions", "mean V", "mean TSR", "exp. replays", "energy", "time"},
+		}
+		for _, ss := range s.Solvers {
+			solvers.AddRow(ss.Solver, ss.Decisions, ss.MeanV, ss.MeanTSR, ss.Replays, ss.Energy, ss.Time)
+		}
+		solvers.Render(w)
+	}
+	fmt.Fprintf(w, "  ledger: %d estimates, %d replays, %d barriers\n\n", s.Estimates, s.Replayed, s.Barriers)
+}

@@ -29,6 +29,7 @@ import (
 	"synts/internal/obs"
 	"synts/internal/pool"
 	"synts/internal/report"
+	"synts/internal/telemetry"
 	"synts/internal/trace"
 	"synts/internal/workload"
 )
@@ -44,17 +45,18 @@ var (
 	stats      = flag.Bool("stats", false, "print end-of-run metrics/span table to stderr")
 	statsJSON  = flag.String("stats-json", "", "write the metrics snapshot as JSON to `file`")
 	traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing) to `file`")
+	eventsOut  = flag.String("events-out", "", "write the simulation decision ledger (synts-events/v1 JSONL) to `file`")
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file`")
 )
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: synts [flags] <experiment>...\n       synts bench [-o FILE] [-size N]\n\nexperiments:\n")
+		fmt.Fprintf(os.Stderr, "usage: synts [flags] <experiment>...\n       synts bench [-o FILE] [-size N]\n       synts serve [-addr HOST:PORT] [experiment ...]\n       synts explain [-events FILE] <benchmark>\n\nexperiments:\n")
 		for _, e := range experiments {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", e.name, e.desc)
 		}
-		fmt.Fprintf(os.Stderr, "  %-10s run everything\n  %-10s write BENCH_synts.json (machine-readable benchmarks)\n\nflags:\n", "all", "bench")
+		fmt.Fprintf(os.Stderr, "  %-10s run everything\n  %-10s write BENCH_synts.json (machine-readable benchmarks)\n  %-10s serve /metrics, expvar and pprof over HTTP\n  %-10s aggregate the decision ledger into the paper-facing tables\n\nflags:\n", "all", "bench", "serve", "explain")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -62,9 +64,22 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	if flag.Arg(0) == "bench" {
+	switch flag.Arg(0) {
+	case "bench":
 		if err := runBenchCmd(flag.Args()[1:], os.Stderr); err != nil {
 			fmt.Fprintf(os.Stderr, "synts bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "serve":
+		if err := runServeCmd(flag.Args()[1:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "synts serve: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	case "explain":
+		if err := runExplainCmd(flag.Args()[1:], os.Stdout, os.Stderr); err != nil {
+			fmt.Fprintf(os.Stderr, "synts explain: %v\n", err)
 			os.Exit(1)
 		}
 		return
@@ -85,6 +100,9 @@ func main() {
 	if obsRequested(*stats, *statsJSON, *traceOut) {
 		obs.Enable()
 	}
+	if *eventsOut != "" {
+		telemetry.Enable()
+	}
 	stopCPU, err := startCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "synts: %v\n", err)
@@ -95,6 +113,12 @@ func main() {
 	if err := writeObsArtifacts(*stats, *statsJSON, *traceOut, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "synts: %v\n", err)
 		os.Exit(1)
+	}
+	if *eventsOut != "" {
+		if err := telemetry.WriteJSONLFile(*eventsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "synts: %v\n", err)
+			os.Exit(1)
+		}
 	}
 	if err := writeHeapProfile(*memprofile); err != nil {
 		fmt.Fprintf(os.Stderr, "synts: %v\n", err)

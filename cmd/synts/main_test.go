@@ -271,4 +271,16 @@ func TestBenchReportSchema(t *testing.T) {
 	if disabled.AllocsPerOp != 0 {
 		t.Errorf("disabled counter allocates %d per op, want 0", disabled.AllocsPerOp)
 	}
+	var telDisabled BenchEntry
+	for _, e := range rep.Benchmarks {
+		if e.Name == "telemetry/RecordDisabled" {
+			telDisabled = e
+		}
+	}
+	if telDisabled.Name == "" {
+		t.Fatal("suite missing telemetry/RecordDisabled")
+	}
+	if telDisabled.AllocsPerOp != 0 {
+		t.Errorf("disabled telemetry Record allocates %d per op, want 0", telDisabled.AllocsPerOp)
+	}
 }

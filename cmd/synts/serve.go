@@ -1,0 +1,169 @@
+package main
+
+// `synts serve` turns the batch tool into a long-running process whose
+// instrumentation can be watched live: Prometheus text exposition at
+// /metrics (bridged from internal/obs), the stdlib expvar JSON at
+// /debug/vars, and net/http/pprof at /debug/pprof/. Experiments named on
+// the command line run in the background on the usual worker pool, so a
+// long evaluation can be scraped while it progresses; with no experiments
+// the server just exposes whatever the process records until it is
+// signalled to stop.
+
+import (
+	"bytes"
+	"context"
+	"expvar"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"os/signal"
+	"runtime"
+	"sync"
+	"syscall"
+	"time"
+
+	"synts/internal/exp"
+	"synts/internal/obs"
+	"synts/internal/telemetry"
+)
+
+// expvarOnce guards expvar.Publish, which panics on duplicate names
+// (tests build the mux repeatedly in one process).
+var expvarOnce sync.Once
+
+// newServeMux builds the serve handler tree. Factored out of runServeCmd
+// so tests can drive it through httptest without binding a socket.
+func newServeMux() *http.ServeMux {
+	expvarOnce.Do(func() {
+		expvar.Publish("synts_telemetry_events", expvar.Func(func() any {
+			return telemetry.Len()
+		}))
+	})
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		defer obs.StartSpan("serve.scrape").End()
+		obs.C("serve.scrapes").Add(1)
+		obs.G("telemetry.events").Set(float64(telemetry.Len()))
+		var buf bytes.Buffer
+		if err := obs.Default().WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprint(w, "synts serve\n\n/metrics      Prometheus text exposition\n/debug/vars   expvar JSON\n/debug/pprof/ pprof index\n")
+	})
+	return mux
+}
+
+// runServeCmd implements the serve subcommand. It blocks until SIGINT or
+// SIGTERM (or until the background experiments finish, with -exit-when-done),
+// then shuts the listener down gracefully and writes the -events-out
+// ledger if one was requested.
+func runServeCmd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("serve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:9187", "listen address for /metrics, /debug/vars, /debug/pprof/")
+	size := fs.Int("size", 2, "workload size knob for background experiments")
+	seed := fs.Int64("seed", 2016, "workload data seed")
+	threads := fs.Int("threads", 4, "cores/threads")
+	maxIv := fs.Int("intervals", 3, "barrier intervals analysed per benchmark")
+	jobs := fs.Int("j", runtime.NumCPU(), "background experiments run concurrently")
+	eventsOut := fs.String("events-out", "", "write the decision ledger (synts-events/v1 JSONL) to `file` on shutdown")
+	exitWhenDone := fs.Bool("exit-when-done", false, "shut down once the background experiments finish (instead of serving until signalled)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: synts serve [-addr HOST:PORT] [flags] [experiment ...]\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	// Serving implies instrumentation: the endpoints are the whole point.
+	obs.Enable()
+	telemetry.Enable()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{Handler: newServeMux()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	fmt.Fprintf(stderr, "synts serve: listening on http://%s (/metrics, /debug/vars, /debug/pprof/)\n", ln.Addr())
+
+	// Background experiments, if any. Artefacts still go to stdout in
+	// request order; metrics update live as the pool works.
+	names := fs.Args()
+	if len(names) == 1 && names[0] == "all" {
+		names = names[:0]
+		for _, e := range experiments {
+			names = append(names, e.name)
+		}
+	}
+	runDone := make(chan error, 1)
+	if len(names) > 0 {
+		opts := exp.DefaultOptions()
+		opts.Size = *size
+		opts.Seed = *seed
+		opts.Threads = *threads
+		opts.MaxIntervals = *maxIv
+		go func() { runDone <- runAll(names, opts, *jobs, false, stdout, stderr) }()
+	} else if *exitWhenDone {
+		runDone <- nil
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sig)
+
+	var runErr error
+	for {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(stderr, "synts serve: %v, shutting down\n", s)
+			goto shutdown
+		case err := <-serveErr:
+			return fmt.Errorf("http server: %w", err)
+		case runErr = <-runDone:
+			if runErr != nil {
+				fmt.Fprintf(stderr, "synts serve: background run failed: %v\n", runErr)
+			} else {
+				fmt.Fprintf(stderr, "synts serve: background experiments done\n")
+			}
+			runDone = nil // don't select on the drained channel again
+			if *exitWhenDone {
+				goto shutdown
+			}
+		}
+	}
+
+shutdown:
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(stderr, "synts serve: shutdown: %v\n", err)
+	}
+	if *eventsOut != "" {
+		if err := telemetry.WriteJSONLFile(*eventsOut); err != nil {
+			return err
+		}
+	}
+	return runErr
+}

@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"synts/internal/exp"
+	"synts/internal/obs"
+	"synts/internal/telemetry"
+)
+
+// ledgerFor runs the named experiments with the ledger recording and
+// returns the canonical serialised bytes plus the stdout stream.
+func ledgerFor(t *testing.T, names []string, jobs int) (ledger, stdout []byte) {
+	t.Helper()
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	opts.MaxIntervals = 1 // keep the race-detector run inside the package timeout
+	telemetry.Enable()
+	defer telemetry.Disable()
+	var out bytes.Buffer
+	if err := runAll(names, opts, jobs, false, &out, io.Discard); err != nil {
+		t.Fatalf("-j %d: %v", jobs, err)
+	}
+	var led bytes.Buffer
+	if err := telemetry.WriteJSONL(&led, telemetry.Events()); err != nil {
+		t.Fatal(err)
+	}
+	return led.Bytes(), out.Bytes()
+}
+
+// The ledger determinism golden: -events-out must serialise byte-identical
+// ledgers at -j 1 and -j 4, without perturbing stdout. (The CI
+// obs-artifacts job additionally byte-compares a recording `all` run's
+// stdout against a plain serial run at full interval depth.)
+func TestEventsOutIdenticalAcrossJobCounts(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full telemetry-emitting experiment twice")
+	}
+	names := []string{"fig6.18"}
+
+	led1, out1 := ledgerFor(t, names, 1)
+	led4, out4 := ledgerFor(t, names, 4)
+	if !bytes.Equal(led1, led4) {
+		t.Error("-j 1 and -j 4 ledgers differ byte-for-byte")
+	}
+	if !bytes.Equal(out1, out4) {
+		t.Error("-j 1 and -j 4 stdout differ while recording")
+	}
+
+	events, err := telemetry.ReadJSONL(bytes.NewReader(led1))
+	if err != nil {
+		t.Fatalf("ledger does not round-trip: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("fig6.18 recorded no events")
+	}
+	kinds := map[string]int{}
+	for i := range events {
+		if err := events[i].Validate(); err != nil {
+			t.Fatalf("event %d invalid: %v", i, err)
+		}
+		kinds[events[i].Kind]++
+	}
+	for _, kind := range []string{telemetry.KindDecision, telemetry.KindBarrier, telemetry.KindEstimate, telemetry.KindReplay} {
+		if kinds[kind] == 0 {
+			t.Errorf("ledger has no %q events", kind)
+		}
+	}
+}
+
+// The serve mux must expose valid Prometheus text on /metrics and valid
+// expvar JSON on /debug/vars.
+func TestServeMuxEndpoints(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	telemetry.Enable()
+	defer telemetry.Disable()
+	telemetry.Record(telemetry.Event{Kind: telemetry.KindDecision, Bench: "b", Stage: "s", Solver: "SynTS"})
+
+	srv := httptest.NewServer(newServeMux())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	if err := obs.ValidatePrometheusText(body); err != nil {
+		t.Fatalf("/metrics is not valid exposition text: %v\n%s", err, body)
+	}
+	for _, want := range []string{"synts_serve_scrapes_total", "synts_telemetry_events"} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	var vars map[string]any
+	if err := json.Unmarshal(body, &vars); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if n, ok := vars["synts_telemetry_events"].(float64); !ok || n < 1 {
+		t.Errorf("synts_telemetry_events = %v, want >= 1", vars["synts_telemetry_events"])
+	}
+
+	resp, err = http.Get(srv.URL + "/nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status %d, want 404", resp.StatusCode)
+	}
+}
+
+// runServeCmd with -exit-when-done and no experiments must come up, write
+// the (header-only) ledger, and exit cleanly without a signal.
+func TestServeExitWhenDone(t *testing.T) {
+	eventsPath := filepath.Join(t.TempDir(), "events.jsonl")
+	var stderr bytes.Buffer
+	err := runServeCmd(
+		[]string{"-addr", "127.0.0.1:0", "-exit-when-done", "-events-out", eventsPath},
+		io.Discard, &stderr)
+	if err != nil {
+		t.Fatalf("runServeCmd: %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "listening on") {
+		t.Errorf("stderr missing listen line: %s", stderr.String())
+	}
+	events, err := telemetry.ReadJSONLFile(eventsPath)
+	if err != nil {
+		t.Fatalf("events-out not readable: %v", err)
+	}
+	if len(events) != 0 {
+		t.Errorf("expected an empty ledger, got %d events", len(events))
+	}
+}
+
+// The explain subcommand end to end on a tiny run: curves, divergence and
+// overhead lines must all render.
+func TestExplainCmd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs all solvers on a benchmark")
+	}
+	var out, errb bytes.Buffer
+	err := runExplainCmd([]string{"-size", "1", "-intervals", "1", "-stage", "SimpleALU", "radix"}, &out, &errb)
+	if err != nil {
+		t.Fatalf("explain: %v\nstderr: %s", err, errb.String())
+	}
+	for _, want := range []string{
+		"error probability vs TSR",
+		"estimator divergence",
+		"online sampling overhead",
+		"solver decisions",
+		"SynTS-online",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("explain output missing %q:\n%s", want, out.String())
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Package benchfmt defines the BENCH_synts.json benchmark-report schema
+// (synts-bench/v1) and the regression comparison over two reports. It is
+// shared by the `synts bench` writer and the cmd/benchcmp gate so the two
+// sides cannot drift apart.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Schema versions the BENCH_synts.json layout.
+const Schema = "synts-bench/v1"
+
+// Report is the top-level BENCH_synts.json document.
+type Report struct {
+	Schema     string  `json:"schema"`
+	Timestamp  string  `json:"timestamp"`
+	GoVersion  string  `json:"go"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// Entry is one benchmark's result.
+type Entry struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// ReadFile parses and schema-checks a BENCH_synts.json file.
+func ReadFile(path string) (*Report, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("%s: not a bench report: %w", path, err)
+	}
+	if r.Schema != Schema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+	}
+	if len(r.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: report contains no benchmarks", path)
+	}
+	return &r, nil
+}
+
+// Delta is one benchmark's old-versus-new comparison.
+type Delta struct {
+	Name         string
+	OldNs, NewNs float64
+	// Ratio is NewNs/OldNs (1.0 = unchanged); 0 when either side is
+	// missing or the old measurement is zero.
+	Ratio float64
+	// Regression marks a flagged slowdown: ratio beyond the threshold on
+	// a benchmark big enough to clear the noise floor.
+	Regression bool
+	// BelowFloor marks entries too fast for the ns/op ratio to mean
+	// anything (sub-minNs single-digit-nanosecond ops jitter by tens of
+	// percent run to run); they are reported but never flagged.
+	BelowFloor bool
+	// OnlyIn is "old" or "new" for benchmarks present on one side only.
+	OnlyIn string
+}
+
+// Compare matches the two reports' benchmarks by name and flags entries
+// whose ns/op grew by more than threshold (e.g. 0.10 = +10%), ignoring —
+// but still reporting — entries faster than minNs in the old report.
+// Added or removed benchmarks are reported with OnlyIn set and are never
+// regressions (renames must not break the gate).
+func Compare(old, new *Report, threshold, minNs float64) (deltas []Delta, regressions int) {
+	oldBy := make(map[string]Entry, len(old.Benchmarks))
+	for _, e := range old.Benchmarks {
+		oldBy[e.Name] = e
+	}
+	seen := make(map[string]bool, len(new.Benchmarks))
+	for _, e := range new.Benchmarks {
+		seen[e.Name] = true
+		oe, ok := oldBy[e.Name]
+		if !ok {
+			deltas = append(deltas, Delta{Name: e.Name, NewNs: e.NsPerOp, OnlyIn: "new"})
+			continue
+		}
+		d := Delta{Name: e.Name, OldNs: oe.NsPerOp, NewNs: e.NsPerOp}
+		if oe.NsPerOp > 0 {
+			d.Ratio = e.NsPerOp / oe.NsPerOp
+		}
+		if oe.NsPerOp < minNs {
+			d.BelowFloor = true
+		} else if d.Ratio > 1+threshold {
+			d.Regression = true
+			regressions++
+		}
+		deltas = append(deltas, d)
+	}
+	for _, e := range old.Benchmarks {
+		if !seen[e.Name] {
+			deltas = append(deltas, Delta{Name: e.Name, OldNs: e.NsPerOp, OnlyIn: "old"})
+		}
+	}
+	return deltas, regressions
+}

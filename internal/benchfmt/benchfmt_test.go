@@ -1,0 +1,111 @@
+package benchfmt
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func report(entries ...Entry) *Report {
+	return &Report{Schema: Schema, Timestamp: "t", GoVersion: "go", GoMaxProcs: 1, Benchmarks: entries}
+}
+
+func TestReadFile(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, v any) string {
+		raw, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	good := write("good.json", report(Entry{Name: "A", Iterations: 1, NsPerOp: 10}))
+	r, err := ReadFile(good)
+	if err != nil {
+		t.Fatalf("ReadFile(good): %v", err)
+	}
+	if len(r.Benchmarks) != 1 || r.Benchmarks[0].Name != "A" {
+		t.Fatalf("parsed report wrong: %+v", r)
+	}
+
+	if _, err := ReadFile(filepath.Join(dir, "absent.json")); err == nil {
+		t.Error("ReadFile accepted a missing file")
+	}
+	if _, err := ReadFile(write("schema.json", &Report{Schema: "synts-bench/v0", Benchmarks: []Entry{{Name: "A"}}})); err == nil {
+		t.Error("ReadFile accepted a wrong schema")
+	}
+	if _, err := ReadFile(write("empty.json", report())); err == nil {
+		t.Error("ReadFile accepted a report with no benchmarks")
+	}
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(bad); err == nil {
+		t.Error("ReadFile accepted malformed JSON")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	old := report(
+		Entry{Name: "stable", NsPerOp: 1000},
+		Entry{Name: "regressed", NsPerOp: 2000},
+		Entry{Name: "improved", NsPerOp: 3000},
+		Entry{Name: "noisy", NsPerOp: 5},
+		Entry{Name: "removed", NsPerOp: 400},
+		Entry{Name: "boundary", NsPerOp: 1000},
+	)
+	cur := report(
+		Entry{Name: "stable", NsPerOp: 1050},
+		Entry{Name: "regressed", NsPerOp: 2400},
+		Entry{Name: "improved", NsPerOp: 1500},
+		Entry{Name: "noisy", NsPerOp: 9}, // +80%, but below the floor
+		Entry{Name: "added", NsPerOp: 700},
+		Entry{Name: "boundary", NsPerOp: 1100}, // exactly +10%: not a regression
+	)
+	deltas, regressions := Compare(old, cur, 0.10, 100)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1", regressions)
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Name] = d
+	}
+	if len(byName) != 7 {
+		t.Fatalf("got %d deltas, want 7", len(byName))
+	}
+	if d := byName["regressed"]; !d.Regression || d.Ratio != 1.2 {
+		t.Errorf("regressed: %+v", d)
+	}
+	for _, name := range []string{"stable", "improved", "boundary"} {
+		if d := byName[name]; d.Regression || d.BelowFloor || d.OnlyIn != "" {
+			t.Errorf("%s flagged unexpectedly: %+v", name, d)
+		}
+	}
+	if d := byName["noisy"]; !d.BelowFloor || d.Regression {
+		t.Errorf("noisy: %+v", d)
+	}
+	if d := byName["added"]; d.OnlyIn != "new" || d.Regression {
+		t.Errorf("added: %+v", d)
+	}
+	if d := byName["removed"]; d.OnlyIn != "old" || d.Regression {
+		t.Errorf("removed: %+v", d)
+	}
+}
+
+func TestCompareZeroOldNs(t *testing.T) {
+	deltas, regressions := Compare(
+		report(Entry{Name: "z", NsPerOp: 0}),
+		report(Entry{Name: "z", NsPerOp: 50}), 0.10, 100)
+	if regressions != 0 {
+		t.Fatalf("zero-baseline entry flagged as regression")
+	}
+	if d := deltas[0]; d.Ratio != 0 || !d.BelowFloor {
+		t.Errorf("zero baseline delta: %+v", d)
+	}
+}

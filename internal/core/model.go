@@ -178,6 +178,38 @@ func (c *Config) Evaluate(threads []Thread, a Assignment, theta float64) Metrics
 	return m
 }
 
+// ThreadBreakdown is one thread's share of an assignment: the chosen
+// operating point with its time, energy, error probability and expected
+// Razor replay count. It exists so consumers (the telemetry ledger, the
+// explain report) can attribute an interval's outcome per core without
+// the solvers' hot paths having to allocate per-thread detail.
+type ThreadBreakdown struct {
+	VIdx, RIdx int
+	V, R       float64
+	Time       float64
+	Energy     float64
+	// Err is the per-instruction timing-error probability at (V, R);
+	// Replays = N * Err is the expected number of Razor replay events.
+	Err     float64
+	Replays float64
+}
+
+// Breakdown computes thread i's slice of assignment a. It is evaluated
+// on demand (never inside the solver loops), so enabling attribution
+// costs nothing on the optimisation hot path.
+func (c *Config) Breakdown(th Thread, a Assignment, i int) ThreadBreakdown {
+	v, r := a.V(c, i), a.R(c, i)
+	perr := th.Err(r)
+	return ThreadBreakdown{
+		VIdx: a.VIdx[i], RIdx: a.RIdx[i],
+		V: v, R: r,
+		Time:    c.ThreadTime(th, v, r),
+		Energy:  c.ThreadEnergy(th, v, r),
+		Err:     perr,
+		Replays: th.N * perr,
+	}
+}
+
 // uniformAssignment gives every thread the same (vIdx, rIdx).
 func uniformAssignment(n, vIdx, rIdx int) Assignment {
 	a := Assignment{VIdx: make([]int, n), RIdx: make([]int, n)}

@@ -84,9 +84,12 @@ type OnlineResult struct {
 	// the remainder executed at the chosen configuration, all evaluated
 	// with the true error functions.
 	Metrics Metrics
-	// SamplingTime and SamplingEnergy isolate the overhead contribution.
-	SamplingTime   []float64
-	SamplingEnergy float64
+	// SamplingTime and SamplingEnergy isolate the overhead contribution;
+	// SamplingEnergyPer breaks the energy down per thread (telemetry and
+	// the §6.3 overhead accounting attribute it per core).
+	SamplingTime      []float64
+	SamplingEnergy    float64
+	SamplingEnergyPer []float64
 	// Estimates are the per-thread estimated error functions (Fig 6.17).
 	Estimates []ErrFunc
 }
@@ -116,6 +119,7 @@ func SolveOnline(c *Config, actual []Thread, est ErrEstimator, oc OnlineConfig, 
 	estThreads := make([]Thread, m)
 	estimates := make([]ErrFunc, m)
 	sampTime := make([]float64, m)
+	sampEnergyPer := make([]float64, m)
 	sampEnergy := 0.0
 	for i, th := range actual {
 		rates := make([]float64, len(c.TSRs))
@@ -135,8 +139,9 @@ func SolveOnline(c *Config, actual []Thread, est ErrEstimator, oc OnlineConfig, 
 		for k := range c.TSRs {
 			sub := Thread{N: nSamp / nLevels, CPIBase: th.CPIBase, Err: th.Err}
 			sampTime[i] += c.ThreadTime(sub, vsamp, c.TSRs[k])
-			sampEnergy += c.ThreadEnergy(sub, vsamp, c.TSRs[k])
+			sampEnergyPer[i] += c.ThreadEnergy(sub, vsamp, c.TSRs[k])
 		}
+		sampEnergy += sampEnergyPer[i]
 	}
 
 	a, _ := SolvePoly(c, estThreads, theta)
@@ -159,10 +164,11 @@ func SolveOnline(c *Config, actual []Thread, est ErrEstimator, oc OnlineConfig, 
 	mt.Energy = sampEnergy + run.Energy
 	mt.Cost = mt.Energy + theta*mt.TExec
 	return OnlineResult{
-		Assignment:     a,
-		Metrics:        mt,
-		SamplingTime:   sampTime,
-		SamplingEnergy: sampEnergy,
-		Estimates:      estimates,
+		Assignment:        a,
+		Metrics:           mt,
+		SamplingTime:      sampTime,
+		SamplingEnergy:    sampEnergy,
+		SamplingEnergyPer: sampEnergyPer,
+		Estimates:         estimates,
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"synts/internal/core"
 	"synts/internal/cpu"
 	"synts/internal/obs"
+	"synts/internal/telemetry"
 	"synts/internal/trace"
 	"synts/internal/vscale"
 	"synts/internal/workload"
@@ -225,24 +226,73 @@ func (t Totals) EDP() float64 { return t.Energy * t.Time }
 // execution time (Eq. 4.2's "total execution time is the sum over barrier
 // intervals").
 func SolveAll(cfg *core.Config, intervals [][]core.Thread, solve func(*core.Config, []core.Thread, float64) (core.Assignment, core.Metrics), theta float64) Totals {
+	return SolveAllScoped(telemetry.Scope{}, "", cfg, intervals, solve, theta)
+}
+
+// SolveAllScoped is SolveAll with ledger attribution: when the telemetry
+// ledger is recording, the scope is non-zero and a solver name is given,
+// every (core, interval) operating-point choice is recorded as a decision
+// event (via core.Config.Breakdown, evaluated only at emission time — the
+// solver hot path allocates nothing extra) and every interval as a
+// barrier event. Offline solvers see the oracle error functions, so their
+// decisions record est_err == act_err; the online driver emits its own
+// decisions with the genuine estimate/truth split.
+func SolveAllScoped(sc telemetry.Scope, solver string, cfg *core.Config, intervals [][]core.Thread, solve func(*core.Config, []core.Thread, float64) (core.Assignment, core.Metrics), theta float64) Totals {
 	var tot Totals
-	for _, ths := range intervals {
+	emit := solver != "" && !sc.Zero() && telemetry.Enabled()
+	for iv, ths := range intervals {
 		if emptyInterval(ths) {
 			continue
 		}
-		_, m := solve(cfg, ths, theta)
+		a, m := solve(cfg, ths, theta)
 		tot.Energy += m.Energy
 		tot.Time += m.TExec
+		if !emit {
+			continue
+		}
+		for i, th := range ths {
+			bd := cfg.Breakdown(th, a, i)
+			telemetry.Record(telemetry.Event{
+				Kind:           telemetry.KindDecision,
+				Bench:          sc.Bench,
+				Stage:          sc.Stage,
+				Solver:         solver,
+				Theta:          theta,
+				Interval:       iv,
+				Core:           i,
+				V:              bd.V,
+				TSR:            bd.R,
+				EstErr:         bd.Err,
+				ActErr:         bd.Err,
+				Replays:        bd.Replays,
+				Energy:         bd.Energy,
+				Time:           bd.Time,
+				Instrs:         th.N,
+				IntervalCycles: th.N * th.CPIBase,
+			})
+		}
+		telemetry.Record(telemetry.Event{
+			Kind:     telemetry.KindBarrier,
+			Bench:    sc.Bench,
+			Stage:    sc.Stage,
+			Solver:   solver,
+			Theta:    theta,
+			Interval: iv,
+			Core:     -1,
+			Cores:    len(ths),
+			Energy:   m.Energy,
+			Time:     m.TExec,
+		})
 	}
 	return tot
 }
 
-// TimedSolveAll is SolveAll wrapped in an obs span named after the solver,
-// so per-theta solver calls show up in the -stats span totals and as
-// events in the Chrome trace.
-func TimedSolveAll(name string, cfg *core.Config, intervals [][]core.Thread, solve func(*core.Config, []core.Thread, float64) (core.Assignment, core.Metrics), theta float64) Totals {
+// TimedSolveAll is SolveAllScoped wrapped in an obs span named after the
+// solver, so per-theta solver calls show up in the -stats span totals and
+// as events in the Chrome trace, and their decisions land in the ledger.
+func TimedSolveAll(sc telemetry.Scope, name string, cfg *core.Config, intervals [][]core.Thread, solve func(*core.Config, []core.Thread, float64) (core.Assignment, core.Metrics), theta float64) Totals {
 	defer obs.StartSpan("exp.solve:" + name).End()
-	return SolveAll(cfg, intervals, solve, theta)
+	return SolveAllScoped(sc, name, cfg, intervals, solve, theta)
 }
 
 func emptyInterval(ths []core.Thread) bool {

@@ -12,6 +12,7 @@ import (
 	"synts/internal/pool"
 	"synts/internal/razor"
 	"synts/internal/report"
+	"synts/internal/telemetry"
 	"synts/internal/trace"
 	"synts/internal/vscale"
 )
@@ -373,9 +374,10 @@ func Pareto(b *Bench, stage trace.Stage) (*ParetoResult, error) {
 	for si := range curves {
 		curves[si] = make([]ParetoPoint, len(thetas))
 	}
+	sc := telemetry.Scope{Bench: b.Name, Stage: stage.String()}
 	if err := pool.ForEach(0, len(solvers)*len(thetas), func(i int) error {
 		si, wi := i/len(thetas), i%len(thetas)
-		tot := TimedSolveAll(solvers[si].Name, cfg, ivs, solvers[si].Solve, thetas[wi])
+		tot := TimedSolveAll(sc, solvers[si].Name, cfg, ivs, solvers[si].Solve, thetas[wi])
 		curves[si][wi] = ParetoPoint{
 			Weight: DefaultWeights()[wi],
 			Time:   tot.Time / nom.Time,
@@ -539,11 +541,12 @@ func Fig618(benches []*Bench, stage trace.Stage) ([]EDPRow, error) {
 		cfg := Platform(stage, b.Opts)
 		theta := ThetaGrid(cfg, ivs, []float64{1})[0]
 
-		offline := TimedSolveAll("SynTS", cfg, ivs, core.SolvePoly, theta)
-		percore := TimedSolveAll("Per-core TS", cfg, ivs, core.SolvePerCore, theta)
-		nots := TimedSolveAll("No TS", cfg, ivs, core.SolveNoTS, theta)
-		nominal := TimedSolveAll("Nominal", cfg, ivs, core.SolveNominal, theta)
-		online, err := solveOnlineAll(b, cfg, stage, theta)
+		sc := telemetry.Scope{Bench: b.Name, Stage: stage.String()}
+		offline := TimedSolveAll(sc, "SynTS", cfg, ivs, core.SolvePoly, theta)
+		percore := TimedSolveAll(sc, "Per-core TS", cfg, ivs, core.SolvePerCore, theta)
+		nots := TimedSolveAll(sc, "No TS", cfg, ivs, core.SolveNoTS, theta)
+		nominal := TimedSolveAll(sc, "Nominal", cfg, ivs, core.SolveNominal, theta)
+		online, err := SolveOnlineAll(b, cfg, stage, theta)
 		if err != nil {
 			return err
 		}
@@ -596,13 +599,20 @@ func maxIntSlice(xs []int) int {
 	return m
 }
 
-// solveOnlineAll runs online SynTS (sampling + Poly) over every interval.
-func solveOnlineAll(b *Bench, cfg *core.Config, stage trace.Stage, theta float64) (Totals, error) {
+// SolveOnlineAll runs online SynTS (sampling + Poly) over every interval.
+// When the telemetry ledger is recording, each interval contributes its
+// estimate events (from the scoped sampling estimator), one decision
+// event per core — with the genuine estimated-vs-replayed error split the
+// offline solvers cannot have — one replay event per core (the full-trace
+// replay at the chosen TSR that grounds act_err), and a barrier event.
+func SolveOnlineAll(b *Bench, cfg *core.Config, stage trace.Stage, theta float64) (Totals, error) {
 	defer obs.StartSpan("exp.solve:SynTS-online").End()
 	profs, err := b.Profiles(stage)
 	if err != nil {
 		return Totals{}, err
 	}
+	sc := telemetry.Scope{Bench: b.Name, Stage: stage.String()}
+	emit := telemetry.Enabled()
 	var tot Totals
 	nIv := len(profs[0])
 	for ii := 0; ii < nIv; ii++ {
@@ -620,7 +630,7 @@ func solveOnlineAll(b *Bench, cfg *core.Config, stage trace.Stage, theta float64
 			continue
 		}
 		budgets := samplingBudgets(ps, b.Opts.NSampFrac)
-		est := razor.SamplingEstimatorBudgets(ps, cfg.TSRs, budgets, cfg.CPenalty, razor.SamplingGranule)
+		est := razor.SamplingEstimatorScoped(sc, ps, cfg.TSRs, budgets, cfg.CPenalty, razor.SamplingGranule)
 		per := make([]float64, len(budgets))
 		for i, bn := range budgets {
 			per[i] = float64(bn)
@@ -628,6 +638,48 @@ func solveOnlineAll(b *Bench, cfg *core.Config, stage trace.Stage, theta float64
 		res := core.SolveOnline(cfg, ths, est, core.OnlineConfig{NSampPer: per, VSampIdx: 0}, theta)
 		tot.Energy += res.Metrics.Energy
 		tot.Time += res.Metrics.TExec
+		if !emit {
+			continue
+		}
+		for i, th := range ths {
+			nSamp := math.Min(per[i], th.N)
+			rem := core.Thread{N: th.N - nSamp, CPIBase: th.CPIBase, Err: th.Err}
+			bd := cfg.Breakdown(rem, res.Assignment, i)
+			// Ground act_err in a full-trace replay at the chosen TSR (the
+			// replay event itself lands in the ledger too).
+			rep, _ := razor.ReplayProfileScoped(sc, "SynTS-online", ps[i], bd.R, cfg.CPenalty)
+			telemetry.Record(telemetry.Event{
+				Kind:           telemetry.KindDecision,
+				Bench:          sc.Bench,
+				Stage:          sc.Stage,
+				Solver:         "SynTS-online",
+				Theta:          theta,
+				Interval:       ii,
+				Core:           i,
+				V:              bd.V,
+				TSR:            bd.R,
+				EstErr:         res.Estimates[i](bd.R),
+				ActErr:         rep.ErrorRate(),
+				Replays:        float64(rep.Errors),
+				Energy:         res.SamplingEnergyPer[i] + bd.Energy,
+				Time:           res.Metrics.ThreadTimes[i],
+				Instrs:         th.N,
+				SampleBudget:   nSamp,
+				IntervalCycles: th.N * th.CPIBase,
+			})
+		}
+		telemetry.Record(telemetry.Event{
+			Kind:     telemetry.KindBarrier,
+			Bench:    sc.Bench,
+			Stage:    sc.Stage,
+			Solver:   "SynTS-online",
+			Theta:    theta,
+			Interval: ii,
+			Core:     -1,
+			Cores:    len(ths),
+			Energy:   res.Metrics.Energy,
+			Time:     res.Metrics.TExec,
+		})
 	}
 	return tot, nil
 }

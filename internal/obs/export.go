@@ -178,22 +178,43 @@ type TraceEvent struct {
 }
 
 // ChromeTraceEvents converts the registry's span records into trace
-// events. Spans with an explicit TID (pool workers) keep their row; spans
-// without one are attached to the smallest enclosing explicit-TID span
-// (their worker), or row 0 when none encloses them.
+// events. Spans with an explicit TID (pool workers) keep their row.
+// Unattributed spans are assigned by goroutine: a span recorded on the
+// same goroutine as an explicit-TID span lands on that worker's row (the
+// smallest time-enclosing one when the goroutine carried several tasks);
+// goroutines that never carried an explicit row — the main goroutine,
+// HTTP handlers under `serve`, any concurrency outside internal/pool —
+// each get a fresh row reserved through NextTIDBlock, in order of their
+// first span start, so concurrent non-pool work never collapses onto one
+// misleading row.
 func (r *Registry) ChromeTraceEvents() []TraceEvent {
 	recs, _ := r.SpanRecords()
-	type holder struct{ start, end int64 }
-	var workers []struct {
-		holder
-		tid int
+	type holder struct {
+		start, end int64
+		tid        int
 	}
+	explicit := make(map[int64][]holder)
 	for _, rec := range recs {
-		if rec.TID >= 0 {
-			workers = append(workers, struct {
-				holder
-				tid int
-			}{holder{rec.StartNs, rec.StartNs + rec.DurNs}, rec.TID})
+		if rec.TID >= 0 && rec.Gid != 0 {
+			explicit[rec.Gid] = append(explicit[rec.Gid],
+				holder{rec.StartNs, rec.StartNs + rec.DurNs, rec.TID})
+		}
+	}
+	// Reserve rows for goroutines with no explicit-TID span, in first-
+	// start order (deterministic for a deterministic span set). Going
+	// through NextTIDBlock keeps the rows disjoint from every pool's.
+	orphanRow := make(map[int64]int)
+	ordered := append([]SpanRecord(nil), recs...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].StartNs < ordered[j].StartNs })
+	for _, rec := range ordered {
+		if rec.TID >= 0 || rec.Gid == 0 {
+			continue
+		}
+		if _, ok := explicit[rec.Gid]; ok {
+			continue
+		}
+		if _, ok := orphanRow[rec.Gid]; !ok {
+			orphanRow[rec.Gid] = r.NextTIDBlock(1)
 		}
 	}
 	events := make([]TraceEvent, 0, len(recs))
@@ -201,14 +222,23 @@ func (r *Registry) ChromeTraceEvents() []TraceEvent {
 		tid := rec.TID
 		if tid < 0 {
 			tid = 0
-			best := int64(-1)
-			end := rec.StartNs + rec.DurNs
-			for _, w := range workers {
-				if w.start <= rec.StartNs && w.end >= end {
-					if d := w.end - w.start; best < 0 || d < best {
-						best, tid = d, w.tid
+			if hs, ok := explicit[rec.Gid]; ok {
+				// Same goroutine as a worker: the smallest task span
+				// enclosing this one in time is the task it ran inside.
+				best := int64(-1)
+				end := rec.StartNs + rec.DurNs
+				for _, h := range hs {
+					if h.start <= rec.StartNs && h.end >= end {
+						if d := h.end - h.start; best < 0 || d < best {
+							best, tid = d, h.tid
+						}
 					}
 				}
+				if best < 0 {
+					tid = hs[0].tid
+				}
+			} else if row, ok := orphanRow[rec.Gid]; ok {
+				tid = row
 			}
 		}
 		events = append(events, TraceEvent{

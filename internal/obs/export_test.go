@@ -89,18 +89,30 @@ func TestWriteTableMentionsSections(t *testing.T) {
 }
 
 // Chrome trace export: valid trace-event JSON (array of {name,ph,ts,dur,
-// pid,tid}), with unattributed spans attached to their enclosing worker
-// span's row by time containment.
-func TestChromeTraceSchemaAndTIDContainment(t *testing.T) {
+// pid,tid}), with unattributed spans assigned rows by goroutine — spans
+// on a worker's goroutine land on the worker's explicit row, and spans on
+// goroutines that never carried an explicit row get a fresh row each.
+func TestChromeTraceSchemaAndGoroutineRows(t *testing.T) {
 	r := NewRegistry()
+	workerRow := r.NextTIDBlock(1)
 	worker := r.StartSpan("pool.task")
-	worker.SetTID(3)
-	inner := r.StartSpan("trace.interval_build") // no TID: must inherit row 3
+	worker.SetTID(workerRow)
+	inner := r.StartSpan("trace.interval_build") // no TID: same goroutine -> worker's row
 	time.Sleep(2 * time.Millisecond)
 	inner.End()
 	worker.End()
-	outside := r.StartSpan("exp.run") // after the worker span: row 0
-	outside.End()
+
+	// Two spans on a second goroutine with no explicit-TID span: both get
+	// the same fresh row, distinct from the worker's.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		a := r.StartSpan("serve.scrape")
+		a.End()
+		b := r.StartSpan("serve.scrape")
+		b.End()
+	}()
+	<-done
 
 	var buf bytes.Buffer
 	if err := r.WriteChromeTrace(&buf); err != nil {
@@ -110,8 +122,8 @@ func TestChromeTraceSchemaAndTIDContainment(t *testing.T) {
 	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
 		t.Fatalf("trace is not a JSON array: %v", err)
 	}
-	if len(events) != 3 {
-		t.Fatalf("got %d events, want 3", len(events))
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
 	}
 	for _, ev := range events {
 		for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
@@ -123,18 +135,40 @@ func TestChromeTraceSchemaAndTIDContainment(t *testing.T) {
 			t.Errorf("event ph = %v, want X", ev["ph"])
 		}
 	}
-	byName := map[string]float64{}
+	byName := map[string][]float64{}
 	for _, ev := range events {
-		byName[ev["name"].(string)] = ev["tid"].(float64)
+		name := ev["name"].(string)
+		byName[name] = append(byName[name], ev["tid"].(float64))
 	}
-	if byName["pool.task"] != 3 {
-		t.Errorf("pool.task tid = %v, want 3", byName["pool.task"])
+	if got := byName["pool.task"]; len(got) != 1 || got[0] != float64(workerRow) {
+		t.Errorf("pool.task tids = %v, want [%d]", got, workerRow)
 	}
-	if byName["trace.interval_build"] != 3 {
-		t.Errorf("contained span tid = %v, want worker row 3", byName["trace.interval_build"])
+	if got := byName["trace.interval_build"]; len(got) != 1 || got[0] != float64(workerRow) {
+		t.Errorf("same-goroutine span tids = %v, want worker row %d", got, workerRow)
 	}
-	if byName["exp.run"] != 0 {
-		t.Errorf("uncontained span tid = %v, want 0", byName["exp.run"])
+	scrapes := byName["serve.scrape"]
+	if len(scrapes) != 2 || scrapes[0] != scrapes[1] {
+		t.Fatalf("orphan-goroutine spans on rows %v, want one shared row", scrapes)
+	}
+	if scrapes[0] == float64(workerRow) || scrapes[0] == 0 {
+		t.Errorf("orphan-goroutine row = %v, want a fresh row (not 0, not the worker's)", scrapes[0])
+	}
+}
+
+// A span on the main test goroutine that starts after the worker's task
+// ended still lands on the worker's row when it shares the goroutine —
+// the goroutine, not time containment, is the attribution key.
+func TestChromeTraceSameGoroutineFallback(t *testing.T) {
+	r := NewRegistry()
+	worker := r.StartSpan("pool.task")
+	worker.SetTID(7)
+	worker.End()
+	later := r.StartSpan("exp.run")
+	later.End()
+	for _, ev := range r.ChromeTraceEvents() {
+		if ev.Name == "exp.run" && ev.Tid != 7 {
+			t.Errorf("same-goroutine later span tid = %d, want 7", ev.Tid)
+		}
 	}
 }
 

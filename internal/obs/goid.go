@@ -1,0 +1,28 @@
+package obs
+
+import "runtime"
+
+// curGoroutineID extracts the calling goroutine's id from its stack
+// header ("goroutine N [running]:"). Goroutine ids are never reused by
+// the runtime, so the id is a stable key for attributing spans to trace
+// rows. The 64-byte stack buffer always covers the header line and stays
+// on the caller's stack; the call costs on the order of a microsecond and
+// is only made while instrumentation is enabled (span starts), never on
+// the disabled hot path. Returns 0 if the header ever changes shape.
+func curGoroutineID() int64 {
+	var buf [64]byte
+	n := runtime.Stack(buf[:], false)
+	const prefix = "goroutine "
+	s := buf[:n]
+	if len(s) < len(prefix) || string(s[:len(prefix)]) != prefix {
+		return 0
+	}
+	var id int64
+	for _, c := range s[len(prefix):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + int64(c-'0')
+	}
+	return id
+}

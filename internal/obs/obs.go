@@ -219,12 +219,18 @@ func H(name string) *Histogram {
 	return defaultRegistry.Histogram(name)
 }
 
-// NextTIDBlock reserves n consecutive Chrome-trace thread ids (rows) and
-// returns the first. Worker pools call it once per pool so every worker of
-// every pool gets a distinct trace row. The first reserved id is 1; row 0
-// is the main/unattributed row.
+// NextTIDBlock reserves n consecutive Chrome-trace thread ids (rows) on r
+// and returns the first. Worker pools call it once per pool so every
+// worker of every pool gets a distinct trace row; the export allocates
+// one-row blocks for goroutines that never ran under a pool. The first
+// reserved id is 1; row 0 is the main/unattributed row.
+func (r *Registry) NextTIDBlock(n int) int {
+	return int(r.nextTID.Add(int64(n))-int64(n)) + 1
+}
+
+// NextTIDBlock reserves trace rows on the default registry.
 func NextTIDBlock(n int) int {
-	return int(defaultRegistry.nextTID.Add(int64(n))-int64(n)) + 1
+	return defaultRegistry.NextTIDBlock(n)
 }
 
 // sortedNames returns the map keys in deterministic order.

@@ -8,17 +8,19 @@ import (
 // Span is a scoped timer. StartSpan opens it, End closes and records it.
 // Spans nest: Child opens a sub-span that inherits the parent's trace row
 // (TID). Spans from worker pools carry an explicit TID (one Chrome-trace
-// row per pool worker); spans opened inside a pool task without an
-// explicit TID are attached to their enclosing worker span at export time
-// by time containment, so deep callees never need to thread a span handle
-// through their signatures.
+// row per pool worker); spans opened without an explicit TID record the
+// goroutine they started on, and the export attaches them to the
+// explicit-TID span sharing that goroutine (their worker) — or to a row
+// of their own when the goroutine never carried one — so deep callees
+// never need to thread a span handle through their signatures.
 type Span struct {
 	r      *Registry
 	name   string
 	start  time.Time
 	id     int64
 	parent int64
-	tid    int // -1 = unassigned (resolved at export)
+	tid    int   // -1 = unassigned (resolved at export)
+	gid    int64 // goroutine the span started on
 }
 
 // SpanRecord is one completed span as stored in the registry.
@@ -27,6 +29,7 @@ type SpanRecord struct {
 	ID      int64
 	Parent  int64 // 0 = no explicit parent
 	TID     int   // -1 = unassigned
+	Gid     int64 // goroutine id at StartSpan (0 = unknown)
 	StartNs int64 // relative to the registry epoch
 	DurNs   int64
 }
@@ -44,7 +47,7 @@ func StartSpan(name string) *Span {
 
 // StartSpan opens a span on r.
 func (r *Registry) StartSpan(name string) *Span {
-	return &Span{r: r, name: name, start: time.Now(), id: spanIDs.Add(1), tid: -1}
+	return &Span{r: r, name: name, start: time.Now(), id: spanIDs.Add(1), tid: -1, gid: curGoroutineID()}
 }
 
 // Child opens a nested span inheriting the parent's TID; nil-safe.
@@ -78,6 +81,7 @@ func (s *Span) End() {
 		ID:      s.id,
 		Parent:  s.parent,
 		TID:     s.tid,
+		Gid:     s.gid,
 		StartNs: s.start.Sub(s.r.epoch).Nanoseconds(),
 		DurNs:   end.Sub(s.start).Nanoseconds(),
 	}

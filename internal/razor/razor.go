@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"synts/internal/core"
+	"synts/internal/telemetry"
 	"synts/internal/trace"
 )
 
@@ -68,6 +69,33 @@ func ReplayProfile(p *trace.Profile, r float64, cPenalty float64) (Result, float
 	return res, analytic
 }
 
+// ReplayProfileScoped is ReplayProfile with ledger attribution: when the
+// telemetry ledger is recording and the scope is non-zero, the replay's
+// observed error count, cycle cost and Eq. 4.1 analytic cycles are
+// recorded as one replay event. Unscoped callers (ablations, tests) use
+// ReplayProfile and stay ledger-silent.
+func ReplayProfileScoped(sc telemetry.Scope, solver string, p *trace.Profile, r float64, cPenalty float64) (Result, float64) {
+	res, analytic := ReplayProfile(p, r, cPenalty)
+	if telemetry.Enabled() && !sc.Zero() {
+		telemetry.Record(telemetry.Event{
+			Kind:           telemetry.KindReplay,
+			Bench:          sc.Bench,
+			Stage:          sc.Stage,
+			Solver:         solver,
+			Interval:       p.Interval,
+			Core:           p.Thread,
+			TSR:            r,
+			ActErr:         res.ErrorRate(),
+			Replays:        float64(res.Errors),
+			Instrs:         float64(res.Instructions),
+			Cycles:         res.Cycles,
+			AnalyticCycles: analytic,
+			IntervalCycles: float64(p.N) * p.CPIBase,
+		})
+	}
+	return res, analytic
+}
+
 // SamplingGranule is the number of consecutive instructions executed at one
 // TSR level before the sampling controller rotates to the next. The paper
 // assigns each level N_samp/S instructions; interleaving them as short
@@ -106,6 +134,63 @@ func SamplingEstimatorGranule(profiles []*trace.Profile, tsrs []float64, nSamp i
 // per-thread-fraction policy the experiment drivers use passes
 // budgets[i] = frac * N_i here.
 func SamplingEstimatorBudgets(profiles []*trace.Profile, tsrs []float64, budgets []int, cPenalty float64, granule int) core.ErrEstimator {
+	stats := samplingStats(profiles, tsrs, budgets, cPenalty, granule)
+	return func(thread, rIdx int) float64 {
+		return stats[thread].Rates[rIdx]
+	}
+}
+
+// SamplingEstimatorScoped is SamplingEstimatorBudgets with ledger
+// attribution: when the telemetry ledger is recording and the scope is
+// non-zero, each (thread, TSR level) measurement is recorded as one
+// estimate event carrying the pooled estimate, the full-trace truth, the
+// instructions sampled at the level and the cycle cost of sampling them —
+// the raw material of the §6.3 overhead fraction and the Fig 6.17
+// divergence analysis. The returned estimator is identical to the
+// unscoped one.
+func SamplingEstimatorScoped(sc telemetry.Scope, profiles []*trace.Profile, tsrs []float64, budgets []int, cPenalty float64, granule int) core.ErrEstimator {
+	stats := samplingStats(profiles, tsrs, budgets, cPenalty, granule)
+	if telemetry.Enabled() && !sc.Zero() {
+		for i, p := range profiles {
+			st := stats[i]
+			for k, r := range tsrs {
+				telemetry.Record(telemetry.Event{
+					Kind:           telemetry.KindEstimate,
+					Bench:          sc.Bench,
+					Stage:          sc.Stage,
+					Interval:       p.Interval,
+					Core:           p.Thread,
+					TSR:            r,
+					EstErr:         st.Rates[k],
+					ActErr:         p.Err(r),
+					Replays:        float64(st.Errs[k]),
+					Instrs:         float64(p.N),
+					SampleBudget:   float64(st.Counts[k]),
+					SampleCycles:   st.Cycles[k],
+					IntervalCycles: float64(p.N) * p.CPIBase,
+				})
+			}
+		}
+	}
+	return func(thread, rIdx int) float64 {
+		return stats[thread].Rates[rIdx]
+	}
+}
+
+// threadSampling holds one thread's sampling-phase measurements, indexed
+// by TSR level: the isotonic-pooled rate estimates, raw error and
+// instruction counts, and the replayed cycle cost at each level.
+type threadSampling struct {
+	Rates  []float64
+	Errs   []int
+	Counts []int
+	Cycles []float64
+}
+
+// samplingStats runs the Fig 4.7 sampling schedule over every profile and
+// returns the per-thread, per-level measurements shared by the estimator
+// constructors.
+func samplingStats(profiles []*trace.Profile, tsrs []float64, budgets []int, cPenalty float64, granule int) []threadSampling {
 	if len(budgets) != len(profiles) {
 		panic(fmt.Sprintf("razor: %d budgets for %d profiles", len(budgets), len(profiles)))
 	}
@@ -117,9 +202,14 @@ func SamplingEstimatorBudgets(profiles []*trace.Profile, tsrs []float64, budgets
 		panic("razor: no TSR levels to sample")
 	}
 	// Precompute all rates so the estimator closure is cheap and pure.
-	rates := make([][]float64, len(profiles))
+	stats := make([]threadSampling, len(profiles))
 	for i, p := range profiles {
-		rates[i] = make([]float64, s)
+		st := threadSampling{
+			Rates:  make([]float64, s),
+			Errs:   make([]int, s),
+			Counts: make([]int, s),
+			Cycles: make([]float64, s),
+		}
 		n := budgets[i]
 		if n < 0 {
 			panic("razor: negative sampling budget")
@@ -127,8 +217,6 @@ func SamplingEstimatorBudgets(profiles []*trace.Profile, tsrs []float64, budgets
 		if n > len(p.Delays) {
 			n = len(p.Delays)
 		}
-		errs := make([]int, s)
-		counts := make([]int, s)
 		for g := 0; g*granule < n; g++ {
 			k := g % s
 			lo := g * granule
@@ -137,24 +225,24 @@ func SamplingEstimatorBudgets(profiles []*trace.Profile, tsrs []float64, budgets
 				hi = n
 			}
 			res := Replay(p.Delays[lo:hi], tsrs[k]*p.TCrit, cPenalty)
-			errs[k] += res.Errors
-			counts[k] += res.Instructions
+			st.Errs[k] += res.Errors
+			st.Counts[k] += res.Instructions
+			st.Cycles[k] += res.Cycles
 		}
 		for k := 0; k < s; k++ {
-			if counts[k] > 0 {
-				rates[i][k] = float64(errs[k]) / float64(counts[k])
+			if st.Counts[k] > 0 {
+				st.Rates[k] = float64(st.Errs[k]) / float64(st.Counts[k])
 			}
 		}
 		// Isotonic pooling: error probability cannot increase with r.
 		for k := s - 2; k >= 0; k-- {
-			if rates[i][k] < rates[i][k+1] {
-				rates[i][k] = rates[i][k+1]
+			if st.Rates[k] < st.Rates[k+1] {
+				st.Rates[k] = st.Rates[k+1]
 			}
 		}
+		stats[i] = st
 	}
-	return func(thread, rIdx int) float64 {
-		return rates[thread][rIdx]
-	}
+	return stats
 }
 
 // PerfectEstimator returns an estimator that reports the true error

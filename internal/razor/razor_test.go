@@ -165,3 +165,30 @@ func TestSamplingIdentifiesCriticalThread(t *testing.T) {
 		}
 	}
 }
+
+// TestErrorRateNaNFree pins the degenerate-denominator contract for both
+// replay result types: an empty window must read as a 0.0 error rate, not
+// NaN, because these rates feed straight into energy models and the
+// telemetry ledger where NaN would poison every downstream aggregate.
+func TestErrorRateNaNFree(t *testing.T) {
+	cases := []struct {
+		name string
+		rate float64
+		want float64
+	}{
+		{"empty Result", Result{}.ErrorRate(), 0},
+		{"empty JointResult", JointResult{}.ErrorRate(), 0},
+		{"half errors", Result{Instructions: 4, Errors: 2}.ErrorRate(), 0.5},
+		{"joint half errors", JointResult{Instructions: 4, Errors: 2}.ErrorRate(), 0.5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if math.IsNaN(tc.rate) {
+				t.Fatal("ErrorRate() = NaN")
+			}
+			if tc.rate != tc.want {
+				t.Fatalf("ErrorRate() = %v, want %v", tc.rate, tc.want)
+			}
+		})
+	}
+}
