@@ -7,6 +7,12 @@
 //
 //	benchcmp [-threshold 0.10] [-min-ns 100] OLD.json NEW.json
 //
+// A missing or schema-incompatible OLD report is not an error: the first
+// push of a branch, a wiped artifact store, or a schema bump all mean
+// there is simply nothing to compare against, so benchcmp prints a clear
+// "no baseline" note and exits 0 rather than relying on CI step ordering
+// to skip it. Problems with the NEW report are always fatal.
+//
 // Benchmarks present on only one side (renames, additions) are reported
 // but never fatal, and entries whose old ns/op is below -min-ns are
 // treated as noise: single-digit-nanosecond ops jitter by tens of percent
@@ -14,59 +20,78 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"synts/internal/benchfmt"
 )
 
 func main() {
-	threshold := flag.Float64("threshold", 0.10, "fractional ns/op slowdown that counts as a regression")
-	minNs := flag.Float64("min-ns", 100, "old ns/op below which entries are reported but never fatal")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: benchcmp [flags] OLD.json NEW.json\n\nflags:\n")
-		flag.PrintDefaults()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with the process globals factored out so tests can drive it.
+// Exit codes: 0 clean (including "no baseline"), 1 regression, 2 usage or
+// unreadable NEW report.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 0.10, "fractional ns/op slowdown that counts as a regression")
+	minNs := fs.Float64("min-ns", 100, "old ns/op below which entries are reported but never fatal")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: benchcmp [flags] OLD.json NEW.json\n\nflags:\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
-	if flag.NArg() != 2 {
-		flag.Usage()
-		os.Exit(2)
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	old, err := benchfmt.ReadFile(flag.Arg(0))
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	old, err := benchfmt.ReadFile(fs.Arg(0))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
-		os.Exit(2)
+		if os.IsNotExist(err) || errors.Is(err, benchfmt.ErrSchema) {
+			fmt.Fprintf(stdout, "benchcmp: no baseline: %v\n", err)
+			fmt.Fprintln(stdout, "benchcmp: nothing to compare against; treating this run as the new baseline")
+			return 0
+		}
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
 	}
-	cur, err := benchfmt.ReadFile(flag.Arg(1))
+	cur, err := benchfmt.ReadFile(fs.Arg(1))
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchcmp: %v\n", err)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "benchcmp: %v\n", err)
+		return 2
 	}
 
 	deltas, regressions := benchfmt.Compare(old, cur, *threshold, *minNs)
-	fmt.Printf("benchcmp: %s (%s) vs %s (%s), threshold +%.0f%%, noise floor %gns\n",
-		flag.Arg(0), old.Timestamp, flag.Arg(1), cur.Timestamp, *threshold*100, *minNs)
+	fmt.Fprintf(stdout, "benchcmp: %s (%s) vs %s (%s), threshold +%.0f%%, noise floor %gns\n",
+		fs.Arg(0), old.Timestamp, fs.Arg(1), cur.Timestamp, *threshold*100, *minNs)
 	for _, d := range deltas {
 		switch {
 		case d.OnlyIn == "new":
-			fmt.Printf("  NEW      %-40s %12.1f ns/op\n", d.Name, d.NewNs)
+			fmt.Fprintf(stdout, "  NEW      %-40s %12.1f ns/op\n", d.Name, d.NewNs)
 		case d.OnlyIn == "old":
-			fmt.Printf("  REMOVED  %-40s %12.1f ns/op\n", d.Name, d.OldNs)
+			fmt.Fprintf(stdout, "  REMOVED  %-40s %12.1f ns/op\n", d.Name, d.OldNs)
 		case d.Regression:
-			fmt.Printf("  REGRESS  %-40s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
+			fmt.Fprintf(stdout, "  REGRESS  %-40s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
 				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
 		case d.BelowFloor:
-			fmt.Printf("  noise    %-40s %12.1f -> %12.1f ns/op  (%+.1f%%, below floor)\n",
+			fmt.Fprintf(stdout, "  noise    %-40s %12.1f -> %12.1f ns/op  (%+.1f%%, below floor)\n",
 				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
 		default:
-			fmt.Printf("  ok       %-40s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
+			fmt.Fprintf(stdout, "  ok       %-40s %12.1f -> %12.1f ns/op  (%+.1f%%)\n",
 				d.Name, d.OldNs, d.NewNs, (d.Ratio-1)*100)
 		}
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchcmp: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold*100)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchcmp: %d benchmark(s) regressed more than %.0f%%\n", regressions, *threshold*100)
+		return 1
 	}
-	fmt.Println("benchcmp: no regressions")
+	fmt.Fprintln(stdout, "benchcmp: no regressions")
+	return 0
 }

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"synts/internal/benchfmt"
+)
+
+// writeReport marshals a synts-bench report to dir/name and returns the path.
+func writeReport(t *testing.T, dir, name string, r benchfmt.Report) string {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func report(entries ...benchfmt.Entry) benchfmt.Report {
+	return benchfmt.Report{Schema: benchfmt.Schema, Timestamp: "t", Benchmarks: entries}
+}
+
+func TestRunMissingBaselineExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	cur := writeReport(t, dir, "new.json", report(benchfmt.Entry{Name: "B", NsPerOp: 1000}))
+	var out, errb bytes.Buffer
+	code := run([]string{filepath.Join(dir, "does-not-exist.json"), cur}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Fatalf("stdout missing 'no baseline' message: %s", out.String())
+	}
+}
+
+func TestRunSchemaMismatchBaselineExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", benchfmt.Report{
+		Schema: "synts-bench/v0", Timestamp: "t",
+		Benchmarks: []benchfmt.Entry{{Name: "B", NsPerOp: 900}},
+	})
+	cur := writeReport(t, dir, "new.json", report(benchfmt.Entry{Name: "B", NsPerOp: 1000}))
+	var out, errb bytes.Buffer
+	code := run([]string{old, cur}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no baseline") {
+		t.Fatalf("stdout missing 'no baseline' message: %s", out.String())
+	}
+}
+
+func TestRunCorruptBaselineStillFatal(t *testing.T) {
+	dir := t.TempDir()
+	old := filepath.Join(dir, "old.json")
+	if err := os.WriteFile(old, []byte("not json at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cur := writeReport(t, dir, "new.json", report(benchfmt.Entry{Name: "B", NsPerOp: 1000}))
+	var out, errb bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 for corrupt baseline", code)
+	}
+}
+
+func TestRunBadNewReportExitsTwo(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", report(benchfmt.Entry{Name: "B", NsPerOp: 900}))
+	var out, errb bytes.Buffer
+	if code := run([]string{old, filepath.Join(dir, "missing-new.json")}, &out, &errb); code != 2 {
+		t.Fatalf("exit %d, want 2 for missing NEW report", code)
+	}
+}
+
+func TestRunRegressionExitsOne(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", report(benchfmt.Entry{Name: "B", NsPerOp: 1000}))
+	cur := writeReport(t, dir, "new.json", report(benchfmt.Entry{Name: "B", NsPerOp: 2000}))
+	var out, errb bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errb); code != 1 {
+		t.Fatalf("exit %d, want 1 for a 2x regression", code)
+	}
+	if !strings.Contains(out.String(), "REGRESS") {
+		t.Fatalf("stdout missing REGRESS line: %s", out.String())
+	}
+}
+
+func TestRunCleanCompareExitsZero(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", report(benchfmt.Entry{Name: "B", NsPerOp: 1000}))
+	cur := writeReport(t, dir, "new.json", report(benchfmt.Entry{Name: "B", NsPerOp: 1010}))
+	var out, errb bytes.Buffer
+	if code := run([]string{old, cur}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "no regressions") {
+		t.Fatalf("stdout missing 'no regressions': %s", out.String())
+	}
+}

@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	obscheck -stats stats.json -trace trace.json -events events.jsonl
+//	obscheck -stats stats.json -trace trace.json -events events.jsonl -ckpt ckptdir
 //
 // Any flag may be omitted to check only the others.
 package main
@@ -19,6 +19,7 @@ import (
 	"os"
 	"strings"
 
+	"synts/internal/ckpt"
 	"synts/internal/obs"
 	"synts/internal/telemetry"
 )
@@ -27,9 +28,10 @@ func main() {
 	statsPath := flag.String("stats", "", "path to a -stats-json snapshot")
 	tracePath := flag.String("trace", "", "path to a -trace-out Chrome trace")
 	eventsPath := flag.String("events", "", "path to an -events-out decision ledger (synts-events/v1 JSONL)")
+	ckptPath := flag.String("ckpt", "", "path to a -checkpoint-dir directory (synts-ckpt/v1)")
 	flag.Parse()
-	if *statsPath == "" && *tracePath == "" && *eventsPath == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace and/or -events)")
+	if *statsPath == "" && *tracePath == "" && *eventsPath == "" && *ckptPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace, -events and/or -ckpt)")
 		os.Exit(2)
 	}
 	failed := false
@@ -47,6 +49,7 @@ func main() {
 	check(*statsPath, checkStats)
 	check(*tracePath, checkTrace)
 	check(*eventsPath, checkEvents)
+	check(*ckptPath, checkCkpt)
 	if failed {
 		os.Exit(1)
 	}
@@ -156,6 +159,27 @@ func checkTrace(path string) error {
 // by re-serialising and byte-comparing — that the file is in the
 // canonical order WriteJSONL defines, so ledgers stay diffable across
 // runs and -j values.
+// checkCkpt enforces the synts-ckpt/v1 contract over a checkpoint
+// directory: every .ckpt.json entry parses, carries the right schema
+// version, and is stored under its own experiment's file name. An empty
+// directory is an error — a resume pointed here would silently recompute
+// everything.
+func checkCkpt(dir string) error {
+	entries, err := ckpt.ValidateDir(dir)
+	if err != nil {
+		return err
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no checkpoints in %s", dir)
+	}
+	for _, e := range entries {
+		if len(e.Output) == 0 {
+			return fmt.Errorf("checkpoint %s has empty output", e.Experiment)
+		}
+	}
+	return nil
+}
+
 func checkEvents(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {

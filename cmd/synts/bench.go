@@ -21,6 +21,7 @@ import (
 	"synts/internal/core"
 	"synts/internal/cpu"
 	"synts/internal/exp"
+	"synts/internal/faults"
 	"synts/internal/obs"
 	"synts/internal/telemetry"
 	"synts/internal/trace"
@@ -65,6 +66,7 @@ func benchSuite(size int) ([]string, map[string]func(b *testing.B), error) {
 		"obs/CounterEnabled",
 		"telemetry/RecordDisabled",
 		"telemetry/RecordEnabled",
+		"faults/EstimateDisabled",
 	}
 	suite := map[string]func(b *testing.B){
 		"BuildProfilesSerial/radix/SimpleALU": func(b *testing.B) {
@@ -137,6 +139,15 @@ func benchSuite(size int) ([]string, map[string]func(b *testing.B), error) {
 			for i := 0; i < b.N; i++ {
 				telemetry.Record(ev)
 			}
+		},
+		"faults/EstimateDisabled": func(b *testing.B) {
+			faults.Disable()
+			b.ReportAllocs()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink = faults.Estimate(0, 1, 0.25)
+			}
+			_ = sink
 		},
 	}
 	return names, suite, nil

@@ -90,6 +90,14 @@ func runExplainCmd(args []string, stdout, stderr io.Writer) error {
 	for _, s := range summaries {
 		renderStageExplain(stdout, s)
 	}
+	// Surface in-memory ledger overflow from a live run: analysis above is
+	// incomplete if the cap discarded events (batch runs avoid this by
+	// spilling to disk when -events-out is set).
+	if *eventsIn == "" {
+		if dropped := telemetry.Dropped(); dropped > 0 {
+			fmt.Fprintf(stdout, "ledger overflow: %d events dropped past the in-memory cap; the analysis above is partial\n", dropped)
+		}
+	}
 	return nil
 }
 

@@ -18,14 +18,20 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"time"
 
+	"synts/internal/ckpt"
 	"synts/internal/exp"
+	"synts/internal/faults"
 	"synts/internal/obs"
 	"synts/internal/pool"
 	"synts/internal/report"
@@ -48,6 +54,12 @@ var (
 	eventsOut  = flag.String("events-out", "", "write the simulation decision ledger (synts-events/v1 JSONL) to `file`")
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file`")
+
+	chaos        = flag.String("chaos", "off", "deterministic fault injection `spec`: class[=rate],... (classes: sample-noise, sample-drop, sample-nan, replay-perturb, task-panic, task-stall)")
+	chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the fault injector's decisions")
+	ckptDir      = flag.String("checkpoint-dir", "", "write each completed experiment's output to `dir` (synts-ckpt/v1, atomic)")
+	resume       = flag.Bool("resume", false, "replay experiments already completed in -checkpoint-dir instead of recomputing them")
+	stallTimeout = flag.Duration("stall-timeout", 0, "dump all goroutine stacks if one task runs longer than `d` (0 = off)")
 )
 
 func main() {
@@ -102,13 +114,43 @@ func main() {
 	}
 	if *eventsOut != "" {
 		telemetry.Enable()
+		// Past the in-memory cap, overflow streams to a spill file beside
+		// the ledger; the final write merges it back in canonical order.
+		if err := telemetry.SetSpill(*eventsOut + ".spill"); err != nil {
+			fmt.Fprintf(os.Stderr, "synts: -events-out: %v\n", err)
+			os.Exit(1)
+		}
 	}
+	if err := faults.Enable(*chaos, *chaosSeed); err != nil {
+		fmt.Fprintf(os.Stderr, "synts: -chaos: %v\n", err)
+		os.Exit(2)
+	}
+	if *stallTimeout > 0 {
+		pool.SetStallWatchdog(*stallTimeout, nil)
+	}
+	var store *ckpt.Store
+	if *ckptDir != "" {
+		var err error
+		store, err = ckpt.Open(*ckptDir, ckpt.Key{Size: *size, Seed: *seed, Threads: *threads, Intervals: *maxIv})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "synts: -checkpoint-dir: %v\n", err)
+			os.Exit(1)
+		}
+	} else if *resume {
+		fmt.Fprintln(os.Stderr, "synts: -resume requires -checkpoint-dir")
+		os.Exit(2)
+	}
+	// SIGINT/SIGTERM cancel the batch pipeline: in-flight experiments
+	// finish or unwind, queued ones are dropped, and already-checkpointed
+	// work survives for a later -resume.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	stopCPU, err := startCPUProfile(*cpuprofile)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "synts: %v\n", err)
 		os.Exit(1)
 	}
-	runErr := runAll(names, opts, *jobs, *verbose, os.Stdout, os.Stderr)
+	runErr := runAllCtx(ctx, names, opts, *jobs, *verbose, os.Stdout, os.Stderr, store, *resume)
 	stopCPU()
 	if err := writeObsArtifacts(*stats, *statsJSON, *traceOut, os.Stderr); err != nil {
 		fmt.Fprintf(os.Stderr, "synts: %v\n", err)
@@ -152,17 +194,30 @@ func exitCode(err error) int {
 // first error (in request order) is returned after all started work
 // settles.
 func runAll(names []string, opts exp.Options, jobs int, verbose bool, stdout, stderr io.Writer) error {
+	return runAllCtx(context.Background(), names, opts, jobs, verbose, stdout, stderr, nil, false)
+}
+
+// runAllCtx is runAll with cancellation and checkpointing. Once ctx is
+// cancelled, experiments not yet running are dropped (and reported with
+// ctx's error) while in-flight ones finish. With a non-nil store, each
+// successfully completed experiment's buffer is checkpointed atomically;
+// with resume also set, experiments whose checkpoint already exists replay
+// their stored bytes instead of recomputing — stdout stays byte-identical
+// to an uninterrupted run because the buffer is replayed verbatim in the
+// same request-order flush.
+func runAllCtx(ctx context.Context, names []string, opts exp.Options, jobs int, verbose bool, stdout, stderr io.Writer, store *ckpt.Store, resume bool) error {
 	exps := make([]*experiment, len(names))
 	for i, name := range names {
 		if exps[i] = lookup(name); exps[i] == nil {
 			return unknownExperimentError(name)
 		}
 	}
-	r := &runner{opts: opts, benches: exp.NewBenchCache()}
+	r := &runner{ctx: ctx, opts: opts, benches: exp.NewBenchCache()}
 	type result struct {
-		buf  bytes.Buffer
-		err  error
-		took time.Duration
+		buf    bytes.Buffer
+		err    error
+		took   time.Duration
+		cached bool
 	}
 	results := make([]*result, len(exps))
 	ready := make([]chan struct{}, len(exps))
@@ -173,15 +228,49 @@ func runAll(names []string, opts exp.Options, jobs int, verbose bool, stdout, st
 	g := pool.New(jobs)
 	go func() {
 		for i, e := range exps {
-			g.Go(func() error {
+			if resume {
+				if out, ok := store.Load(e.name); ok {
+					results[i].buf.Write(out)
+					results[i].cached = true
+					close(ready[i])
+					continue
+				}
+			}
+			g.GoCtx(ctx, func() error {
 				sp := obs.StartSpan("exp.run:" + e.name)
 				start := time.Now()
 				results[i].err = e.run(r, &results[i].buf)
 				results[i].took = time.Since(start)
 				sp.End()
+				if results[i].err == nil && store != nil {
+					results[i].err = store.Save(e.name, results[i].buf.Bytes())
+				}
 				close(ready[i])
 				return nil // errors surface in request order below
 			})
+		}
+		// Settle the pipeline, then account for every task that never got
+		// to close its ready channel: dropped after cancellation or a
+		// first-error stop, or unwound by a panic before reaching the
+		// close. Without this the flush loop below would block forever on
+		// exactly the failures this layer exists to surface.
+		werr := g.Wait()
+		for i := range exps {
+			select {
+			case <-ready[i]:
+			default:
+				if results[i].err == nil {
+					switch {
+					case werr != nil:
+						results[i].err = werr
+					case ctx.Err() != nil:
+						results[i].err = ctx.Err()
+					default:
+						results[i].err = errors.New("pool: task dropped")
+					}
+				}
+				close(ready[i])
+			}
 		}
 	}()
 	var firstErr error
@@ -191,16 +280,20 @@ func runAll(names []string, opts exp.Options, jobs int, verbose bool, stdout, st
 			continue // drain remaining experiments, print nothing further
 		}
 		res := results[i]
-		if _, err := io.Copy(stdout, &res.buf); err != nil {
-			firstErr = err
-			continue
-		}
 		if res.err != nil {
 			firstErr = fmt.Errorf("%s: %w", names[i], res.err)
 			continue
 		}
+		if _, err := io.Copy(stdout, &res.buf); err != nil {
+			firstErr = err
+			continue
+		}
 		if verbose {
-			fmt.Fprintf(stderr, "[%s done in %v]\n", names[i], res.took.Round(time.Millisecond))
+			if res.cached {
+				fmt.Fprintf(stderr, "[%s replayed from checkpoint]\n", names[i])
+			} else {
+				fmt.Fprintf(stderr, "[%s done in %v]\n", names[i], res.took.Round(time.Millisecond))
+			}
 		}
 		fmt.Fprintln(stdout)
 	}
@@ -209,14 +302,23 @@ func runAll(names []string, opts exp.Options, jobs int, verbose bool, stdout, st
 
 // runner resolves benchmark names to loaded benchmarks. The BenchCache
 // singleflights concurrent loads, so experiments sharing a kernel run it
-// once even at -j > 1.
+// once even at -j > 1. ctx (nil = Background) aborts kernel runs and
+// profile builds when the batch run is cancelled.
 type runner struct {
+	ctx     context.Context
 	opts    exp.Options
 	benches *exp.BenchCache
 }
 
+func (r *runner) context() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
 func (r *runner) bench(name string) (*exp.Bench, error) {
-	return r.benches.Load(name, r.opts)
+	return r.benches.LoadCtx(r.context(), name, r.opts)
 }
 
 type experiment struct {
@@ -240,7 +342,7 @@ func pareto(r *runner, w io.Writer, figure, bench string, stage trace.Stage) err
 	if err != nil {
 		return err
 	}
-	pr, err := exp.Pareto(b, stage)
+	pr, err := exp.ParetoCtx(r.context(), b, stage)
 	if err != nil {
 		return err
 	}
@@ -370,7 +472,7 @@ var experiments = []experiment{
 			benches = append(benches, b)
 		}
 		for _, st := range trace.Stages() {
-			rows, err := exp.Fig618(benches, st)
+			rows, err := exp.Fig618Ctx(r.context(), benches, st)
 			if err != nil {
 				return err
 			}

@@ -2,15 +2,20 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
+	"synts/internal/ckpt"
 	"synts/internal/exp"
+	"synts/internal/faults"
 	"synts/internal/obs"
+	"synts/internal/pool"
 )
 
 func TestExperimentRegistry(t *testing.T) {
@@ -282,5 +287,101 @@ func TestBenchReportSchema(t *testing.T) {
 	}
 	if telDisabled.AllocsPerOp != 0 {
 		t.Errorf("disabled telemetry Record allocates %d per op, want 0", telDisabled.AllocsPerOp)
+	}
+}
+
+// An interrupted checkpointed run, resumed, must reproduce the
+// uninterrupted byte stream exactly: the resumed experiments replay their
+// stored buffers and the rest recompute into the same request-order flush.
+func TestRunAllCheckpointResumeByteIdentical(t *testing.T) {
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	names := []string{"table5.1", "fig3.6", "fig4.7"}
+	var golden bytes.Buffer
+	if err := runAll(names, opts, 2, false, &golden, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	key := ckpt.Key{Size: opts.Size, Seed: opts.Seed, Threads: opts.Threads, Intervals: opts.MaxIntervals}
+	store, err := ckpt.Open(t.TempDir(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an interrupted run: only the first two experiments completed
+	// and were checkpointed before the process died.
+	var partial bytes.Buffer
+	if err := runAllCtx(context.Background(), names[:2], opts, 2, false, &partial, io.Discard, store, false); err != nil {
+		t.Fatal(err)
+	}
+	var resumed bytes.Buffer
+	if err := runAllCtx(context.Background(), names, opts, 2, false, &resumed, io.Discard, store, true); err != nil {
+		t.Fatal(err)
+	}
+	if golden.String() != resumed.String() {
+		t.Errorf("resumed output differs from uninterrupted run:\n--- golden ---\n%s\n--- resumed ---\n%s", golden.String(), resumed.String())
+	}
+}
+
+// A checkpoint written under a different workload key must be recomputed,
+// never replayed.
+func TestRunAllResumeIgnoresMismatchedKey(t *testing.T) {
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	dir := t.TempDir()
+	stale, err := ckpt.Open(dir, ckpt.Key{Size: 99, Seed: 1, Threads: 1, Intervals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stale.Save("table5.1", []byte("STALE BYTES\n")); err != nil {
+		t.Fatal(err)
+	}
+	store, err := ckpt.Open(dir, ckpt.Key{Size: opts.Size, Seed: opts.Seed, Threads: opts.Threads, Intervals: opts.MaxIntervals})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := runAllCtx(context.Background(), []string{"table5.1"}, opts, 1, false, &out, io.Discard, store, true); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "STALE BYTES") {
+		t.Error("stale checkpoint bytes replayed despite key mismatch")
+	}
+	if !strings.Contains(out.String(), "Table 5.1") {
+		t.Error("experiment was not recomputed")
+	}
+}
+
+// A cancelled context must surface as an error on the unstarted
+// experiments — not hang the request-order flush loop.
+func TestRunAllCtxCancelledNoDeadlock(t *testing.T) {
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := runAllCtx(ctx, []string{"table5.1", "fig4.7"}, opts, 1, false, io.Discard, io.Discard, nil, false)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// An injected panic that exhausts its retry budget must surface as a
+// *pool.PanicError carrying a stack, with the experiment named — the
+// "stack trace instead of a hang" acceptance criterion at the CLI layer.
+func TestRunAllInjectedPanicSurfaces(t *testing.T) {
+	if err := faults.Enable("task-panic=1", 7); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disable()
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	err := runAll([]string{"table5.1"}, opts, 1, false, io.Discard, io.Discard)
+	var pe *pool.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want a *pool.PanicError", err)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic error carries no stack")
+	}
+	if !strings.Contains(err.Error(), "table5.1") {
+		t.Errorf("error %q does not name the experiment", err)
 	}
 }

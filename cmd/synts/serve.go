@@ -98,6 +98,11 @@ func runServeCmd(args []string, stdout, stderr io.Writer) error {
 	// Serving implies instrumentation: the endpoints are the whole point.
 	obs.Enable()
 	telemetry.Enable()
+	if *eventsOut != "" {
+		if err := telemetry.SetSpill(*eventsOut + ".spill"); err != nil {
+			return err
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

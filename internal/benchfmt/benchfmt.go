@@ -6,12 +6,19 @@ package benchfmt
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 )
 
 // Schema versions the BENCH_synts.json layout.
 const Schema = "synts-bench/v1"
+
+// ErrSchema marks a report that parsed as JSON but carries a different
+// schema version. Callers use errors.Is to distinguish "baseline from an
+// incompatible format" (recoverable: treat as no baseline) from a corrupt
+// or unreadable report.
+var ErrSchema = errors.New("incompatible bench report schema")
 
 // Report is the top-level BENCH_synts.json document.
 type Report struct {
@@ -42,7 +49,7 @@ func ReadFile(path string) (*Report, error) {
 		return nil, fmt.Errorf("%s: not a bench report: %w", path, err)
 	}
 	if r.Schema != Schema {
-		return nil, fmt.Errorf("%s: schema %q, want %q", path, r.Schema, Schema)
+		return nil, fmt.Errorf("%s: schema %q, want %q: %w", path, r.Schema, Schema, ErrSchema)
 	}
 	if len(r.Benchmarks) == 0 {
 		return nil, fmt.Errorf("%s: report contains no benchmarks", path)

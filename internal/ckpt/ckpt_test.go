@@ -1,0 +1,146 @@
+package ckpt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testKey() Key { return Key{Size: 1, Seed: 2016, Threads: 4, Intervals: 3} }
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s, err := Open(t.TempDir(), testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("fig6.11"); ok {
+		t.Fatal("empty store must not load")
+	}
+	out := []byte("Fig 6.11: rendered bytes\nwith newlines\n")
+	if err := s.Save("fig6.11", out); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load("fig6.11")
+	if !ok {
+		t.Fatal("saved checkpoint must load")
+	}
+	if string(got) != string(out) {
+		t.Fatalf("round trip changed bytes: %q != %q", got, out)
+	}
+}
+
+// A checkpoint from a different workload configuration must be ignored,
+// not replayed: its bytes belong to another run's golden output.
+func TestLoadRejectsMismatchedKey(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("table5.1", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	other := testKey()
+	other.Seed++
+	s2, err := Open(dir, other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Load("table5.1"); ok {
+		t.Error("checkpoint with a different key must not load")
+	}
+	if _, ok := s.Load("table5.1"); !ok {
+		t.Error("original key must still load")
+	}
+}
+
+func TestLoadRejectsCorruptFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "fig1.2.ckpt.json"), []byte("{truncated"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Load("fig1.2"); ok {
+		t.Error("corrupt checkpoint must not load")
+	}
+}
+
+func TestSaveIsAtomicReplacement(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("overhead", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("overhead", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Load("overhead")
+	if !ok || string(got) != "v2" {
+		t.Fatalf("load after overwrite = %q, %v", got, ok)
+	}
+	// No .tmp residue after successful saves.
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.tmp")); len(left) != 0 {
+		t.Errorf("tmp files left behind: %v", left)
+	}
+}
+
+func TestValidateDir(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table5.1", "fig6.18"} {
+		if err := s.Save(name, []byte(name+" output")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A leftover tmp file from an interrupted save is ignored.
+	if err := os.WriteFile(filepath.Join(dir, "fig1.3.ckpt.json.tmp"), []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ValidateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 2 {
+		t.Fatalf("%d entries, want 2", len(entries))
+	}
+	if entries[0].Experiment != "fig6.18" || entries[1].Experiment != "table5.1" {
+		t.Errorf("entries out of order: %s, %s", entries[0].Experiment, entries[1].Experiment)
+	}
+
+	// A wrong-schema file fails validation loudly.
+	bad := `{"schema":"synts-ckpt/v0","experiment":"x","key":{},"output":""}` + "\n"
+	if err := os.WriteFile(filepath.Join(dir, "x.ckpt.json"), []byte(bad), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateDir(dir); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Errorf("wrong schema must fail validation, got %v", err)
+	}
+}
+
+func TestValidateFileNameMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, testKey())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Save("fig1.4", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	renamed := filepath.Join(dir, "fig9.9.ckpt.json")
+	if err := os.Rename(filepath.Join(dir, "fig1.4.ckpt.json"), renamed); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ValidateFile(renamed); err == nil {
+		t.Error("file name / experiment mismatch must fail validation")
+	}
+}

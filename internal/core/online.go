@@ -20,6 +20,106 @@ type OnlineConfig struct {
 	// VSampIdx indexes Config.Voltages: the fixed voltage all threads use
 	// while sampling (the thesis uses the nominal chip voltage, index 0).
 	VSampIdx int
+	// Guard optionally screens the sampled estimates before the solver may
+	// act on them (graceful degradation; see GuardPolicy). Nil = no guard.
+	Guard *GuardPolicy
+}
+
+// Guard-band defaults. MaxErrAtNominal exploits the structural invariant
+// that a delay trace's error probability is exactly 0 at r = 1 (no
+// sensitized delay exceeds the critical path), so even a tiny epsilon is
+// false-positive-free on genuine estimates. MaxDivergence is deliberately
+// generous: genuine per-interval estimates drift, and only a corrupted
+// sensor jumps half the whole probability range above the running
+// aggregate.
+const (
+	DefaultMaxErrAtNominal = 1e-6
+	DefaultMaxDivergence   = 0.5
+)
+
+// Guard-band rejection reasons (also the telemetry fallback Reason values).
+const (
+	GuardNaN          = "nan-estimate"
+	GuardOutOfRange   = "out-of-range"
+	GuardNonMonotone  = "non-monotone"
+	GuardAtNominal    = "nonzero-at-nominal"
+	GuardDivergence   = "divergence"
+	monotoneTolerance = 1e-9
+)
+
+// GuardPolicy is the estimate guard band of the online flow: a set of
+// plausibility checks applied to each thread's sampled error rates before
+// SolvePoly may act on them. A thread whose estimates fail any check falls
+// back to the nominal V/TSR operating point for the interval — the safe
+// assignment, since err(1) = 0 by construction — rather than letting a
+// corrupted sensor drive the whole chip's schedule.
+type GuardPolicy struct {
+	// MaxErrAtNominal bounds the estimate at the r = 1 level, where the
+	// true error probability is exactly 0. <= 0 means the default.
+	MaxErrAtNominal float64
+	// MaxDivergence bounds how far an estimate may sit *above* the running
+	// aggregate of previously accepted estimates at the same TSR level
+	// (one-sided: injected noise pushes rates up; genuine drift downward is
+	// harmless). <= 0 means the default. Only applied when Baseline
+	// reports a value.
+	MaxDivergence float64
+	// Baseline returns the running aggregate estimate for a TSR level from
+	// earlier intervals (the caller typically feeds it from the telemetry
+	// ledger) and whether any baseline exists yet.
+	Baseline func(level int) (float64, bool)
+}
+
+// check returns the first rejection reason for one thread's sampled
+// rates, or "" if they are plausible. rates[k] corresponds to c.TSRs[k],
+// ascending, ending at r = 1.
+func (g *GuardPolicy) check(c *Config, rates []float64) string {
+	maxNom := g.MaxErrAtNominal
+	if maxNom <= 0 {
+		maxNom = DefaultMaxErrAtNominal
+	}
+	maxDiv := g.MaxDivergence
+	if maxDiv <= 0 {
+		maxDiv = DefaultMaxDivergence
+	}
+	for _, r := range rates {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return GuardNaN
+		}
+	}
+	for _, r := range rates {
+		if r < 0 || r > 1 {
+			return GuardOutOfRange
+		}
+	}
+	// Error probability is non-increasing in r (more timing slack can only
+	// reduce errors); the sampling estimator enforces this by isotonic
+	// pooling, so a violation means corruption.
+	for k := 1; k < len(rates); k++ {
+		if rates[k] > rates[k-1]+monotoneTolerance {
+			return GuardNonMonotone
+		}
+	}
+	if rates[len(rates)-1] > maxNom {
+		return GuardAtNominal
+	}
+	if g.Baseline != nil {
+		for k, r := range rates {
+			if base, ok := g.Baseline(k); ok && r > base+maxDiv {
+				return GuardDivergence
+			}
+		}
+	}
+	return ""
+}
+
+// pessimalErr is the error function the solver sees for a fallback
+// thread: safe only at r = 1. It steers SolvePoly's barrier-time view of
+// the thread toward the nominal point the fallback will pin anyway.
+func pessimalErr(r float64) float64 {
+	if r >= 1 {
+		return 0
+	}
+	return 1
 }
 
 // nsampFor returns the sampling budget of thread i.
@@ -91,7 +191,12 @@ type OnlineResult struct {
 	SamplingEnergy    float64
 	SamplingEnergyPer []float64
 	// Estimates are the per-thread estimated error functions (Fig 6.17).
+	// A guarded-out thread's entry is the pessimal fallback function, not
+	// the rejected estimates.
 	Estimates []ErrFunc
+	// Fallbacks holds the guard-band rejection reason per thread ("" =
+	// estimates accepted); nil when no guard was configured.
+	Fallbacks []string
 }
 
 // SolveOnline runs the practical SynTS flow for one barrier interval:
@@ -121,12 +226,28 @@ func SolveOnline(c *Config, actual []Thread, est ErrEstimator, oc OnlineConfig, 
 	sampTime := make([]float64, m)
 	sampEnergyPer := make([]float64, m)
 	sampEnergy := 0.0
+	var fallbacks []string
+	if oc.Guard != nil {
+		fallbacks = make([]string, m)
+	}
 	for i, th := range actual {
 		rates := make([]float64, len(c.TSRs))
 		for k := range c.TSRs {
 			rates[k] = est(i, k)
 		}
-		estimates[i] = EstimatedErrFunc(c, rates)
+		if oc.Guard != nil {
+			if reason := oc.Guard.check(c, rates); reason != "" {
+				// Graceful degradation: don't let an implausible sensor
+				// reading drive the schedule. The thread solves (and is then
+				// pinned) at the nominal point, where err = 0 structurally.
+				fallbacks[i] = reason
+				estimates[i] = pessimalErr
+			} else {
+				estimates[i] = EstimatedErrFunc(c, rates)
+			}
+		} else {
+			estimates[i] = EstimatedErrFunc(c, rates)
+		}
 		nSamp := math.Min(oc.nsampFor(i), th.N)
 		if nSamp < 0 {
 			panic("core: negative per-thread NSamp")
@@ -145,6 +266,12 @@ func SolveOnline(c *Config, actual []Thread, est ErrEstimator, oc OnlineConfig, 
 	}
 
 	a, _ := SolvePoly(c, estThreads, theta)
+	for i := range fallbacks {
+		if fallbacks[i] != "" {
+			a.VIdx[i] = 0
+			a.RIdx[i] = len(c.TSRs) - 1
+		}
+	}
 
 	// Actual outcome of the remainder under the chosen assignment.
 	actualRem := make([]Thread, m)
@@ -170,5 +297,6 @@ func SolveOnline(c *Config, actual []Thread, est ErrEstimator, oc OnlineConfig, 
 		SamplingEnergy:    sampEnergy,
 		SamplingEnergyPer: sampEnergyPer,
 		Estimates:         estimates,
+		Fallbacks:         fallbacks,
 	}
 }

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -18,9 +19,9 @@ func stubBuilds(t *testing.T) *atomic.Int32 {
 	orig := buildProfiles
 	t.Cleanup(func() { buildProfiles = orig })
 	var builds atomic.Int32
-	buildProfiles = func(streams []*workload.Stream, stage trace.Stage, cfg cpu.CacheConfig) ([][]*trace.Profile, error) {
+	buildProfiles = func(ctx context.Context, streams []*workload.Stream, stage trace.Stage, cfg cpu.CacheConfig) ([][]*trace.Profile, error) {
 		builds.Add(1)
-		return orig(streams, stage, cfg)
+		return orig(ctx, streams, stage, cfg)
 	}
 	return &builds
 }
@@ -89,7 +90,7 @@ func TestProfilesSingleflightError(t *testing.T) {
 	t.Cleanup(func() { buildProfiles = orig })
 	var builds atomic.Int32
 	fail := errors.New("synthetic build failure")
-	buildProfiles = func([]*workload.Stream, trace.Stage, cpu.CacheConfig) ([][]*trace.Profile, error) {
+	buildProfiles = func(context.Context, []*workload.Stream, trace.Stage, cpu.CacheConfig) ([][]*trace.Profile, error) {
 		builds.Add(1)
 		return nil, fail
 	}
@@ -160,5 +161,55 @@ func TestBenchCacheUnknownBench(t *testing.T) {
 	c := NewBenchCache()
 	if _, err := c.Load("nope", testOptions()); err == nil {
 		t.Fatal("unknown benchmark must error")
+	}
+}
+
+// A cancelled build must not poison the profile memo: the next caller
+// with a live context rebuilds and succeeds.
+func TestProfilesCtxCancelDoesNotPoison(t *testing.T) {
+	builds := stubBuilds(t)
+	b := loadBench(t, "ocean", testOptions())
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.ProfilesCtx(ctx, trace.SimpleALU); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled build err = %v, want context.Canceled", err)
+	}
+	p, err := b.Profiles(trace.SimpleALU)
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if p == nil {
+		t.Fatal("retry returned nil profiles")
+	}
+	if n := builds.Load(); n != 2 {
+		t.Errorf("builds = %d, want 2 (cancelled + successful retry)", n)
+	}
+}
+
+func TestBenchCacheLoadCtxCancelDoesNotPoison(t *testing.T) {
+	c := NewBenchCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := c.LoadCtx(ctx, "ocean", testOptions()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled load err = %v, want context.Canceled", err)
+	}
+	b, err := c.Load("ocean", testOptions())
+	if err != nil {
+		t.Fatalf("retry after cancellation failed: %v", err)
+	}
+	if b == nil {
+		t.Fatal("retry returned nil bench")
+	}
+}
+
+func TestParetoCtxCancelled(t *testing.T) {
+	b := loadBench(t, "ocean", testOptions())
+	if _, err := b.Profiles(trace.SimpleALU); err != nil {
+		t.Fatal(err) // pre-build so cancellation hits the sweep itself
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ParetoCtx(ctx, b, trace.SimpleALU); !errors.Is(err, context.Canceled) {
+		t.Fatalf("ParetoCtx = %v, want context.Canceled", err)
 	}
 }

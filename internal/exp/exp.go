@@ -4,6 +4,8 @@
 package exp
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -107,7 +109,14 @@ func classifyLookup(prefix string, existed, done bool) {
 }
 
 // buildProfiles is swapped out by tests that count build invocations.
-var buildProfiles = trace.BuildProfiles
+var buildProfiles = trace.BuildProfilesCtx
+
+// canceled reports whether err came from context cancellation; such
+// errors must not poison singleflight caches, since a later (uncancelled)
+// caller should rebuild.
+func canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // LoadBench runs the kernel and truncates every thread's trace to
 // MaxIntervals barrier intervals (§5.2 runs 3 intervals or to completion).
@@ -137,6 +146,13 @@ func LoadBench(name string, opts Options) (*Bench, error) {
 // stage trigger exactly one build; callers for different stages build in
 // parallel.
 func (b *Bench) Profiles(stage trace.Stage) ([][]*trace.Profile, error) {
+	return b.ProfilesCtx(context.Background(), stage)
+}
+
+// ProfilesCtx is Profiles with a cancellation context. A build aborted by
+// ctx does not poison the memo: the entry is discarded so a later caller
+// rebuilds from scratch.
+func (b *Bench) ProfilesCtx(ctx context.Context, stage trace.Stage) ([][]*trace.Profile, error) {
 	b.mu.Lock()
 	e, ok := b.profiles[stage]
 	if !ok {
@@ -147,10 +163,17 @@ func (b *Bench) Profiles(stage trace.Stage) ([][]*trace.Profile, error) {
 	classifyLookup("exp.profiles", ok, e.done.Load())
 	e.once.Do(func() {
 		sp := obs.StartSpan("exp.profiles.build:" + b.Name + ":" + stage.String())
-		e.p, e.err = buildProfiles(b.Streams, stage, b.Opts.Cache)
+		e.p, e.err = buildProfiles(ctx, b.Streams, stage, b.Opts.Cache)
 		sp.End()
 		e.done.Store(true)
 	})
+	if canceled(e.err) {
+		b.mu.Lock()
+		if b.profiles[stage] == e {
+			delete(b.profiles, stage)
+		}
+		b.mu.Unlock()
+	}
 	return e.p, e.err
 }
 
@@ -186,6 +209,13 @@ func NewBenchCache() *BenchCache {
 // Load returns the cached benchmark for (name, opts), running the kernel
 // on first use. Every caller with the same key gets the same *Bench.
 func (c *BenchCache) Load(name string, opts Options) (*Bench, error) {
+	return c.LoadCtx(context.Background(), name, opts)
+}
+
+// LoadCtx is Load with a cancellation context: an already-cancelled ctx
+// skips the kernel run, and a cancellation observed by the builder does
+// not poison the cache entry.
+func (c *BenchCache) LoadCtx(ctx context.Context, name string, opts Options) (*Bench, error) {
 	key := benchKey{name: name, opts: opts}
 	c.mu.Lock()
 	e, ok := c.m[key]
@@ -196,17 +226,34 @@ func (c *BenchCache) Load(name string, opts Options) (*Bench, error) {
 	c.mu.Unlock()
 	classifyLookup("exp.benchcache", ok, e.done.Load())
 	e.once.Do(func() {
+		if err := ctx.Err(); err != nil {
+			e.err = err
+			e.done.Store(true)
+			return
+		}
 		sp := obs.StartSpan("exp.bench.load:" + name)
 		e.b, e.err = loadBenchImpl(name, opts)
 		sp.End()
 		e.done.Store(true)
 	})
+	if canceled(e.err) {
+		c.mu.Lock()
+		if c.m[key] == e {
+			delete(c.m, key)
+		}
+		c.mu.Unlock()
+	}
 	return e.b, e.err
 }
 
 // Intervals returns the per-interval solver inputs for a stage.
 func (b *Bench) Intervals(stage trace.Stage) ([][]core.Thread, error) {
-	p, err := b.Profiles(stage)
+	return b.IntervalsCtx(context.Background(), stage)
+}
+
+// IntervalsCtx is Intervals with a cancellation context.
+func (b *Bench) IntervalsCtx(ctx context.Context, stage trace.Stage) ([][]core.Thread, error) {
+	p, err := b.ProfilesCtx(ctx, stage)
 	if err != nil {
 		return nil, err
 	}
@@ -238,9 +285,20 @@ func SolveAll(cfg *core.Config, intervals [][]core.Thread, solve func(*core.Conf
 // decisions record est_err == act_err; the online driver emits its own
 // decisions with the genuine estimate/truth split.
 func SolveAllScoped(sc telemetry.Scope, solver string, cfg *core.Config, intervals [][]core.Thread, solve func(*core.Config, []core.Thread, float64) (core.Assignment, core.Metrics), theta float64) Totals {
+	tot, _ := SolveAllScopedCtx(context.Background(), sc, solver, cfg, intervals, solve, theta)
+	return tot
+}
+
+// SolveAllScopedCtx is SolveAllScoped with a cancellation context, checked
+// between barrier intervals: a cancelled solve returns ctx's error and
+// partial totals that callers must discard.
+func SolveAllScopedCtx(ctx context.Context, sc telemetry.Scope, solver string, cfg *core.Config, intervals [][]core.Thread, solve func(*core.Config, []core.Thread, float64) (core.Assignment, core.Metrics), theta float64) (Totals, error) {
 	var tot Totals
 	emit := solver != "" && !sc.Zero() && telemetry.Enabled()
 	for iv, ths := range intervals {
+		if err := ctx.Err(); err != nil {
+			return tot, err
+		}
 		if emptyInterval(ths) {
 			continue
 		}
@@ -284,7 +342,7 @@ func SolveAllScoped(sc telemetry.Scope, solver string, cfg *core.Config, interva
 			Time:     m.TExec,
 		})
 	}
-	return tot
+	return tot, nil
 }
 
 // TimedSolveAll is SolveAllScoped wrapped in an obs span named after the

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -355,8 +356,15 @@ type ParetoResult struct {
 // The (solver, theta) grid fans out over the worker pool; every point lands
 // at its own index, so the curves are identical to a serial sweep.
 func Pareto(b *Bench, stage trace.Stage) (*ParetoResult, error) {
+	return ParetoCtx(context.Background(), b, stage)
+}
+
+// ParetoCtx is Pareto with a cancellation context: (solver, theta) grid
+// points not yet submitted when ctx is cancelled are skipped and ctx's
+// error is returned.
+func ParetoCtx(ctx context.Context, b *Bench, stage trace.Stage) (*ParetoResult, error) {
 	defer obs.StartSpan("exp.pareto:" + b.Name + ":" + stage.String()).End()
-	ivs, err := b.Intervals(stage)
+	ivs, err := b.IntervalsCtx(ctx, stage)
 	if err != nil {
 		return nil, err
 	}
@@ -375,7 +383,7 @@ func Pareto(b *Bench, stage trace.Stage) (*ParetoResult, error) {
 		curves[si] = make([]ParetoPoint, len(thetas))
 	}
 	sc := telemetry.Scope{Bench: b.Name, Stage: stage.String()}
-	if err := pool.ForEach(0, len(solvers)*len(thetas), func(i int) error {
+	if err := pool.ForEachCtx(ctx, 0, len(solvers)*len(thetas), func(i int) error {
 		si, wi := i/len(thetas), i%len(thetas)
 		tot := TimedSolveAll(sc, solvers[si].Name, cfg, ivs, solvers[si].Solve, thetas[wi])
 		curves[si][wi] = ParetoPoint{
@@ -531,10 +539,16 @@ type EDPRow struct {
 // across the given benchmarks, at the balanced theta (w = 1). Benchmarks
 // fan out over the worker pool; each row lands at its benchmark's index.
 func Fig618(benches []*Bench, stage trace.Stage) ([]EDPRow, error) {
+	return Fig618Ctx(context.Background(), benches, stage)
+}
+
+// Fig618Ctx is Fig618 with a cancellation context threaded through the
+// per-benchmark fan-out and each row's profile builds and online solve.
+func Fig618Ctx(ctx context.Context, benches []*Bench, stage trace.Stage) ([]EDPRow, error) {
 	rows := make([]EDPRow, len(benches))
-	if err := pool.ForEach(0, len(benches), func(i int) error {
+	if err := pool.ForEachCtx(ctx, 0, len(benches), func(i int) error {
 		b := benches[i]
-		ivs, err := b.Intervals(stage)
+		ivs, err := b.IntervalsCtx(ctx, stage)
 		if err != nil {
 			return err
 		}
@@ -546,7 +560,7 @@ func Fig618(benches []*Bench, stage trace.Stage) ([]EDPRow, error) {
 		percore := TimedSolveAll(sc, "Per-core TS", cfg, ivs, core.SolvePerCore, theta)
 		nots := TimedSolveAll(sc, "No TS", cfg, ivs, core.SolveNoTS, theta)
 		nominal := TimedSolveAll(sc, "Nominal", cfg, ivs, core.SolveNominal, theta)
-		online, err := SolveOnlineAll(b, cfg, stage, theta)
+		online, err := SolveOnlineAllCtx(ctx, b, cfg, stage, theta)
 		if err != nil {
 			return err
 		}
@@ -606,16 +620,41 @@ func maxIntSlice(xs []int) int {
 // offline solvers cannot have — one replay event per core (the full-trace
 // replay at the chosen TSR that grounds act_err), and a barrier event.
 func SolveOnlineAll(b *Bench, cfg *core.Config, stage trace.Stage, theta float64) (Totals, error) {
+	return SolveOnlineAllCtx(context.Background(), b, cfg, stage, theta)
+}
+
+// SolveOnlineAllCtx is SolveOnlineAll with a cancellation context, checked
+// between barrier intervals.
+func SolveOnlineAllCtx(ctx context.Context, b *Bench, cfg *core.Config, stage trace.Stage, theta float64) (Totals, error) {
 	defer obs.StartSpan("exp.solve:SynTS-online").End()
-	profs, err := b.Profiles(stage)
+	profs, err := b.ProfilesCtx(ctx, stage)
 	if err != nil {
 		return Totals{}, err
 	}
 	sc := telemetry.Scope{Bench: b.Name, Stage: stage.String()}
 	emit := telemetry.Enabled()
 	var tot Totals
+	// Guard band (graceful degradation): screen each interval's sampled
+	// estimates before SolvePoly may act on them. The divergence baseline is
+	// a running per-level mean of previously *accepted* estimates, so a
+	// corrupted sensor that jumps far above the aggregate is rejected even
+	// when the corruption is otherwise plausible. With the fault injector
+	// off the checks are false-positive-free (err(1) = 0 structurally and
+	// isotonic pooling enforces monotonicity), so output is bit-identical to
+	// an unguarded run.
+	baseSum := make([]float64, len(cfg.TSRs))
+	baseCnt := make([]float64, len(cfg.TSRs))
+	guard := &core.GuardPolicy{Baseline: func(k int) (float64, bool) {
+		if baseCnt[k] == 0 {
+			return 0, false
+		}
+		return baseSum[k] / baseCnt[k], true
+	}}
 	nIv := len(profs[0])
 	for ii := 0; ii < nIv; ii++ {
+		if err := ctx.Err(); err != nil {
+			return tot, err
+		}
 		ps := make([]*trace.Profile, len(profs))
 		ths := make([]core.Thread, len(profs))
 		nMax := 0
@@ -635,9 +674,34 @@ func SolveOnlineAll(b *Bench, cfg *core.Config, stage trace.Stage, theta float64
 		for i, bn := range budgets {
 			per[i] = float64(bn)
 		}
-		res := core.SolveOnline(cfg, ths, est, core.OnlineConfig{NSampPer: per, VSampIdx: 0}, theta)
+		res := core.SolveOnline(cfg, ths, est, core.OnlineConfig{NSampPer: per, VSampIdx: 0, Guard: guard}, theta)
 		tot.Energy += res.Metrics.Energy
 		tot.Time += res.Metrics.TExec
+		for i := range ths {
+			if reason := res.Fallbacks[i]; reason != "" {
+				if emit {
+					telemetry.Record(telemetry.Event{
+						Kind:     telemetry.KindFallback,
+						Bench:    sc.Bench,
+						Stage:    sc.Stage,
+						Solver:   "SynTS-online",
+						Theta:    theta,
+						Interval: ii,
+						Core:     i,
+						V:        cfg.Voltages[0],
+						TSR:      cfg.TSRs[len(cfg.TSRs)-1],
+						Reason:   reason,
+					})
+				}
+				continue
+			}
+			// Fold accepted estimates into the divergence baseline (the
+			// estimator is deterministic, so re-querying is exact).
+			for k := range cfg.TSRs {
+				baseSum[k] += est(i, k)
+				baseCnt[k]++
+			}
+		}
 		if !emit {
 			continue
 		}

@@ -1,10 +1,14 @@
 package pool
 
 import (
+	"context"
+	"strings"
+
 	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"synts/internal/faults"
 	"testing"
 	"time"
 
@@ -230,5 +234,287 @@ func TestPoolMetricsWithError(t *testing.T) {
 	snap := obs.Default().Snapshot()
 	if snap.Counters["pool.tasks.completed"] > snap.Counters["pool.tasks.submitted"] {
 		t.Error("completed must never exceed submitted")
+	}
+}
+
+// A panicking task must surface as an error carrying the stack, release
+// its slot, and cancel the group — never deadlock Wait.
+func TestPanicReturnsErrorNotDeadlock(t *testing.T) {
+	g := New(2)
+	g.Go(func() error { panic("kaboom") })
+	done := make(chan error, 1)
+	go func() { done <- g.Wait() }()
+	select {
+	case err := <-done:
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("Wait = %v (%T), want *PanicError", err, err)
+		}
+		if pe.Value != "kaboom" {
+			t.Errorf("panic value = %v, want kaboom", pe.Value)
+		}
+		if !strings.Contains(string(pe.Stack), "pool.") {
+			t.Errorf("stack trace missing pool frames:\n%s", pe.Stack)
+		}
+		if !strings.Contains(err.Error(), "kaboom") {
+			t.Errorf("error text %q does not mention the panic value", err.Error())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Wait deadlocked on a panicking task")
+	}
+	// The slot must have been released: later groups of the same size work,
+	// and this group keeps dropping tasks rather than hanging.
+	g.Go(func() error { return nil })
+	if err := g.Wait(); err == nil {
+		t.Fatal("panic error must persist")
+	}
+}
+
+func TestPanicCancelsQueuedTasks(t *testing.T) {
+	g := New(1)
+	var ran atomic.Int32
+	g.Go(func() error { panic("first") })
+	if err := g.Wait(); err == nil {
+		t.Fatal("want panic error")
+	}
+	for i := 0; i < 5; i++ {
+		g.Go(func() error { ran.Add(1); return nil })
+	}
+	if err := g.Wait(); err == nil {
+		t.Fatal("panic error must persist")
+	}
+	if n := ran.Load(); n != 0 {
+		t.Errorf("%d tasks ran after a panic, want 0", n)
+	}
+}
+
+func TestGoCtxAlreadyCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := New(2)
+	var ran atomic.Int32
+	g.GoCtx(ctx, func() error { ran.Add(1); return nil })
+	err := g.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Error("task ran despite cancelled context")
+	}
+}
+
+// Cancellation mid-run: indices submitted after cancel are skipped, Wait
+// returns promptly with the context error.
+func TestForEachCtxStopsPromptlyOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int32
+	start := time.Now()
+	err := ForEachCtx(ctx, 1, 1000, func(i int) error {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("ForEachCtx = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n >= 100 {
+		t.Errorf("%d tasks ran after cancellation, want a handful", n)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("ForEachCtx took %v to unwind", d)
+	}
+}
+
+// Task errors keep precedence over a racing context cancellation.
+func TestForEachCtxTaskErrorWins(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEachCtx(context.Background(), 1, 10, func(i int) error {
+		if i == 2 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestForEachCtxNoCancelMatchesForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEachCtx(context.Background(), 4, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Load(); got != 4950 {
+		t.Errorf("sum = %d, want 4950", got)
+	}
+}
+
+// Satellite: submitted must reconcile with completed + dropped so the
+// metrics no longer skew after first-error cancellation.
+func TestPoolMetricsDroppedReconciles(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	boom := errors.New("boom")
+	const n = 10
+	err := ForEach(1, n, func(i int) error {
+		if i == 0 {
+			return boom
+		}
+		return nil
+	})
+	if err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	snap := obs.Default().Snapshot()
+	sub := snap.Counters["pool.tasks.submitted"]
+	comp := snap.Counters["pool.tasks.completed"]
+	drop := snap.Counters["pool.tasks.dropped"]
+	if sub != n {
+		t.Errorf("submitted = %d, want %d", sub, n)
+	}
+	if drop == 0 {
+		t.Error("dropped = 0: limit-1 pool with first task failing must drop the queue")
+	}
+	if comp+drop != sub {
+		t.Errorf("completed(%d) + dropped(%d) != submitted(%d)", comp, drop, sub)
+	}
+}
+
+func TestPoolMetricsDroppedOnCtxCancel(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := New(1)
+	const n = 5
+	for i := 0; i < n; i++ {
+		g.GoCtx(ctx, func() error { return nil })
+	}
+	if err := g.Wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	snap := obs.Default().Snapshot()
+	if got := snap.Counters["pool.tasks.dropped"]; got != n {
+		t.Errorf("dropped = %d, want %d", got, n)
+	}
+}
+
+// Injected panics (chaos harness) fire before the task body and are
+// retried within the budget, so a moderate injection rate still completes.
+func TestInjectedPanicsRetried(t *testing.T) {
+	if err := faults.Enable("task-panic=0.5", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disable()
+	var ran atomic.Int32
+	if err := ForEach(4, 30, func(i int) error {
+		ran.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatalf("ForEach under task-panic=0.5 = %v, want nil (retries absorb injected panics)", err)
+	}
+	if got := ran.Load(); got != 30 {
+		t.Errorf("ran %d tasks, want 30", got)
+	}
+}
+
+// With rate 1 every retry panics too; the budget must bound the loop and
+// surface the injected panic as a PanicError.
+func TestInjectedPanicBudgetExhausted(t *testing.T) {
+	if err := faults.Enable("task-panic=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disable()
+	g := New(1)
+	g.Go(func() error { return nil })
+	err := g.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Wait = %v, want *PanicError", err)
+	}
+	if !faults.IsInjectedPanic(pe.Value) {
+		t.Errorf("panic value %v is not the injected sentinel", pe.Value)
+	}
+}
+
+// A real panic from the task body must never be retried, even with the
+// chaos harness active.
+func TestRealPanicNotRetried(t *testing.T) {
+	if err := faults.Enable("replay-perturb", 1); err != nil { // harness on, task classes off
+		t.Fatal(err)
+	}
+	defer faults.Disable()
+	var attempts atomic.Int32
+	g := New(1)
+	g.Go(func() error {
+		attempts.Add(1)
+		panic("real bug")
+	})
+	err := g.Wait()
+	var pe *PanicError
+	if !errors.As(err, &pe) || pe.Value != "real bug" {
+		t.Fatalf("Wait = %v, want PanicError(real bug)", err)
+	}
+	if got := attempts.Load(); got != 1 {
+		t.Errorf("task body ran %d times, want 1", got)
+	}
+}
+
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+func TestStallWatchdogDumpsStacks(t *testing.T) {
+	var buf syncBuffer
+	SetStallWatchdog(5*time.Millisecond, &buf)
+	defer SetStallWatchdog(0, nil)
+	g := New(1)
+	g.Go(func() error {
+		time.Sleep(60 * time.Millisecond)
+		return nil
+	})
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for !strings.Contains(buf.String(), "watchdog") && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "watchdog") {
+		t.Fatal("watchdog never fired for a 60ms task with a 5ms deadline")
+	}
+	if !strings.Contains(out, "goroutine") {
+		t.Errorf("dump does not look like a goroutine stack dump:\n%.400s", out)
+	}
+}
+
+func TestStallWatchdogSilentUnderDeadline(t *testing.T) {
+	var buf syncBuffer
+	SetStallWatchdog(time.Second, &buf)
+	defer SetStallWatchdog(0, nil)
+	if err := ForEach(2, 10, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if out := buf.String(); out != "" {
+		t.Errorf("watchdog fired for fast tasks:\n%.200s", out)
 	}
 }

@@ -16,8 +16,10 @@ package razor
 
 import (
 	"fmt"
+	"math"
 
 	"synts/internal/core"
+	"synts/internal/faults"
 	"synts/internal/telemetry"
 	"synts/internal/trace"
 )
@@ -52,6 +54,14 @@ func Replay(delays []float64, tclk float64, cPenalty float64) Result {
 		if d > tclk {
 			res.Errors++
 			res.Cycles += cPenalty
+		}
+	}
+	if faults.Enabled() {
+		// Chaos harness: a flaky shadow-latch comparator over-reports
+		// errors; the extra replays cost their recovery cycles too.
+		if e := faults.ReplayErrors(res.Errors, res.Instructions, math.Float64bits(tclk)); e != res.Errors {
+			res.Cycles += float64(e-res.Errors) * cPenalty
+			res.Errors = e
 		}
 	}
 	return res
@@ -136,7 +146,7 @@ func SamplingEstimatorGranule(profiles []*trace.Profile, tsrs []float64, nSamp i
 func SamplingEstimatorBudgets(profiles []*trace.Profile, tsrs []float64, budgets []int, cPenalty float64, granule int) core.ErrEstimator {
 	stats := samplingStats(profiles, tsrs, budgets, cPenalty, granule)
 	return func(thread, rIdx int) float64 {
-		return stats[thread].Rates[rIdx]
+		return faults.Estimate(thread, rIdx, stats[thread].Rates[rIdx])
 	}
 }
 
@@ -173,7 +183,7 @@ func SamplingEstimatorScoped(sc telemetry.Scope, profiles []*trace.Profile, tsrs
 		}
 	}
 	return func(thread, rIdx int) float64 {
-		return stats[thread].Rates[rIdx]
+		return faults.Estimate(thread, rIdx, stats[thread].Rates[rIdx])
 	}
 }
 

@@ -49,6 +49,10 @@ const (
 	// KindReplay is one cycle-level Razor replay of a whole interval at a
 	// TSR, with observed errors/cycles and the Eq. 4.1 analytic cycles.
 	KindReplay = "replay"
+	// KindFallback is one guard-band rejection: the online solver judged a
+	// core's sampling estimates implausible (Reason says why) and pinned
+	// that core to the nominal V/TSR instead of acting on them.
+	KindFallback = "fallback"
 )
 
 // Scope names the experiment context an event was recorded under.
@@ -102,18 +106,72 @@ type Event struct {
 	// IntervalCycles is the interval's error-free cycle count (N x
 	// CPI_base), the denominator of the §6.3 sampling-overhead fraction.
 	IntervalCycles float64 `json:"interval_cycles"`
+	// Reason is the guard-band rejection class on fallback events
+	// (nan-estimate, out-of-range, non-monotone, nonzero-at-nominal,
+	// divergence); empty on every other kind.
+	Reason string `json:"reason,omitempty"`
 }
 
 // maxEvents bounds the ledger so a pathological loop cannot grow it
-// without limit; overflow is counted, not silently dropped.
+// without limit; overflow spills to disk when a spill file is configured
+// (SetSpill) and is counted as dropped otherwise — never silently lost.
 const maxEvents = 1 << 21
 
 // Ledger is one event store. The package-level functions use a process
 // default; tests may construct private ledgers.
 type Ledger struct {
-	mu      sync.Mutex
-	events  []Event
-	dropped int64
+	mu       sync.Mutex
+	events   []Event
+	dropped  int64
+	spilled  int64
+	capacity int // in-memory cap; 0 means maxEvents (tests shrink it)
+
+	spillPath string
+	spillF    *os.File
+	spillW    *bufio.Writer
+}
+
+func (l *Ledger) memCap() int {
+	if l.capacity > 0 {
+		return l.capacity
+	}
+	return maxEvents
+}
+
+// SetSpill directs overflow past the in-memory cap into an incremental
+// JSONL spill file instead of dropping it. The spill holds raw events in
+// arrival order; the canonical-order guarantee is preserved because the
+// flush path merges spilled and in-memory events and re-sorts the union.
+// Call after Enable — Enable's Reset also clears spill state.
+func (l *Ledger) SetSpill(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.closeSpillLocked()
+	l.spillPath, l.spillF, l.spillW = path, f, bufio.NewWriter(f)
+	return nil
+}
+
+// closeSpillLocked flushes, closes and removes the spill file; callers
+// hold l.mu.
+func (l *Ledger) closeSpillLocked() {
+	if l.spillF == nil {
+		return
+	}
+	l.spillW.Flush()
+	l.spillF.Close()
+	os.Remove(l.spillPath)
+	l.spillPath, l.spillF, l.spillW = "", nil, nil
+}
+
+// CloseSpill removes the spill file (after the ledger has been written).
+func (l *Ledger) CloseSpill() {
+	l.mu.Lock()
+	l.closeSpillLocked()
+	l.mu.Unlock()
 }
 
 var (
@@ -143,22 +201,34 @@ func Record(e Event) {
 	defaultLedger.Record(e)
 }
 
-// Record appends an event to l.
+// Record appends an event to l; past the in-memory cap it streams the
+// event to the spill file if one is configured, else counts it dropped.
 func (l *Ledger) Record(e Event) {
 	l.mu.Lock()
-	if len(l.events) < maxEvents {
+	switch {
+	case len(l.events) < l.memCap():
 		l.events = append(l.events, e)
-	} else {
+	case l.spillW != nil:
+		if b, err := json.Marshal(&e); err == nil {
+			l.spillW.Write(b)
+			l.spillW.WriteByte('\n')
+			l.spilled++
+		} else {
+			l.dropped++
+		}
+	default:
 		l.dropped++
 	}
 	l.mu.Unlock()
 }
 
-// Reset drops all recorded events.
+// Reset drops all recorded events and any spill state.
 func (l *Ledger) Reset() {
 	l.mu.Lock()
 	l.events = nil
 	l.dropped = 0
+	l.spilled = 0
+	l.closeSpillLocked()
 	l.mu.Unlock()
 }
 
@@ -169,15 +239,67 @@ func (l *Ledger) Events() []Event {
 	return append([]Event(nil), l.events...)
 }
 
-// Dropped returns how many events the cap discarded.
+// Dropped returns how many events the cap discarded (spilled events are
+// not dropped; see Spilled).
 func (l *Ledger) Dropped() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.dropped
 }
 
+// Spilled returns how many events overflowed to the spill file.
+func (l *Ledger) Spilled() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.spilled
+}
+
+// AllEvents returns the in-memory events plus any spilled ones. The
+// combined slice is unsorted (arrival order within each part); WriteJSONL
+// re-sorts canonically, so a run that spilled serialises byte-identically
+// to one whose cap was never reached.
+func (l *Ledger) AllEvents() ([]Event, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]Event(nil), l.events...)
+	if l.spillF == nil || l.spilled == 0 {
+		return out, nil
+	}
+	if err := l.spillW.Flush(); err != nil {
+		return nil, err
+	}
+	f, err := os.Open(l.spillPath)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("telemetry: spill file %s: %w", l.spillPath, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}
+
 // Events returns a copy of the default ledger's events.
 func Events() []Event { return defaultLedger.Events() }
+
+// SetSpill configures overflow spilling on the default ledger.
+func SetSpill(path string) error { return defaultLedger.SetSpill(path) }
+
+// Dropped returns the default ledger's dropped-event count.
+func Dropped() int64 { return defaultLedger.Dropped() }
+
+// Spilled returns the default ledger's spilled-event count.
+func Spilled() int64 { return defaultLedger.Spilled() }
 
 // Len returns the default ledger's event count (cheap, for live gauges).
 func Len() int {
@@ -261,17 +383,27 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	return bw.Flush()
 }
 
-// WriteJSONLFile writes the default ledger's events to path.
+// WriteJSONLFile writes the default ledger's events — including any
+// spilled past the in-memory cap — to path in canonical order, then
+// removes the spill file.
 func WriteJSONLFile(path string) error {
+	events, err := defaultLedger.AllEvents()
+	if err != nil {
+		return err
+	}
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := WriteJSONL(f, Events()); err != nil {
+	if err := WriteJSONL(f, events); err != nil {
 		f.Close()
 		return err
 	}
-	return f.Close()
+	if err := f.Close(); err != nil {
+		return err
+	}
+	defaultLedger.CloseSpill()
+	return nil
 }
 
 // ReadJSONL parses a ledger written by WriteJSONL, verifying the schema
@@ -324,9 +456,15 @@ func ReadJSONLFile(path string) ([]Event, error) {
 // Validate checks one event against the synts-events/v1 contract.
 func (e *Event) Validate() error {
 	switch e.Kind {
-	case KindDecision, KindBarrier, KindEstimate, KindReplay:
+	case KindDecision, KindBarrier, KindEstimate, KindReplay, KindFallback:
 	default:
 		return fmt.Errorf("unknown event kind %q", e.Kind)
+	}
+	if e.Kind == KindFallback && e.Reason == "" {
+		return fmt.Errorf("fallback event: empty reason")
+	}
+	if e.Kind != KindFallback && e.Reason != "" {
+		return fmt.Errorf("%s event: unexpected reason %q", e.Kind, e.Reason)
 	}
 	if e.Interval < 0 {
 		return fmt.Errorf("%s event: negative interval %d", e.Kind, e.Interval)

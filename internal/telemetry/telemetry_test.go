@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -286,5 +288,67 @@ func TestPercentilesNearestRank(t *testing.T) {
 	}
 	if z := percentiles(nil); z.N != 0 || z.Max != 0 {
 		t.Fatalf("empty percentiles = %+v", z)
+	}
+}
+
+// With a spill file configured, overflow past the in-memory cap streams to
+// disk instead of dropping, and the flush-time merge serialises the same
+// bytes as a ledger that never overflowed.
+func TestLedgerSpillPreservesEventsAndOrder(t *testing.T) {
+	evs := make([]Event, 10)
+	for i := range evs {
+		evs[i] = Event{Kind: KindDecision, Bench: "b", Stage: "s", Solver: "SynTS", Interval: 9 - i, TSR: 0.5}
+	}
+
+	spilling := Ledger{capacity: 3}
+	if err := spilling.SetSpill(filepath.Join(t.TempDir(), "spill.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range evs {
+		spilling.Record(e)
+	}
+	if got := spilling.Spilled(); got != 7 {
+		t.Fatalf("Spilled() = %d, want 7", got)
+	}
+	if got := spilling.Dropped(); got != 0 {
+		t.Fatalf("Dropped() = %d, want 0 with a spill configured", got)
+	}
+	all, err := spilling.AllEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(evs) {
+		t.Fatalf("AllEvents returned %d events, want %d", len(all), len(evs))
+	}
+
+	var fromSpill, uncapped bytes.Buffer
+	if err := WriteJSONL(&fromSpill, all); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteJSONL(&uncapped, evs); err != nil {
+		t.Fatal(err)
+	}
+	if fromSpill.String() != uncapped.String() {
+		t.Error("spilled ledger serialises differently from an uncapped one")
+	}
+}
+
+func TestLedgerResetRemovesSpillFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spill.jsonl")
+	l := Ledger{capacity: 1}
+	if err := l.SetSpill(path); err != nil {
+		t.Fatal(err)
+	}
+	l.Record(Event{Kind: KindDecision})
+	l.Record(Event{Kind: KindBarrier, Core: -1})
+	if l.Spilled() != 1 {
+		t.Fatalf("Spilled() = %d, want 1", l.Spilled())
+	}
+	l.Reset()
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Errorf("spill file still exists after Reset (stat err = %v)", err)
+	}
+	if l.Spilled() != 0 {
+		t.Error("Reset did not clear the spilled count")
 	}
 }

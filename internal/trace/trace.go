@@ -8,6 +8,7 @@
 package trace
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -302,12 +303,25 @@ func (p *Profile) MaxDelay() float64 {
 // index, so the output is byte-identical to BuildProfilesSerial regardless
 // of scheduling. The result is indexed [thread][interval].
 func BuildProfiles(streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig) ([][]*Profile, error) {
-	return BuildProfilesWorkers(streams, stage, cacheCfg, 0)
+	return BuildProfilesWorkersCtx(context.Background(), streams, stage, cacheCfg, 0)
+}
+
+// BuildProfilesCtx is BuildProfiles with a cancellation context: intervals
+// not yet submitted when ctx is cancelled are skipped and ctx's error is
+// returned.
+func BuildProfilesCtx(ctx context.Context, streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig) ([][]*Profile, error) {
+	return BuildProfilesWorkersCtx(ctx, streams, stage, cacheCfg, 0)
 }
 
 // BuildProfilesWorkers is BuildProfiles with an explicit worker-pool size;
 // workers <= 0 means GOMAXPROCS.
 func BuildProfilesWorkers(streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig, workers int) ([][]*Profile, error) {
+	return BuildProfilesWorkersCtx(context.Background(), streams, stage, cacheCfg, workers)
+}
+
+// BuildProfilesWorkersCtx is the fully-parameterised profile builder:
+// explicit worker count plus a cancellation context.
+func BuildProfilesWorkersCtx(ctx context.Context, streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig, workers int) ([][]*Profile, error) {
 	if len(streams) == 0 {
 		return nil, fmt.Errorf("trace: no streams")
 	}
@@ -320,7 +334,7 @@ func BuildProfilesWorkers(streams []*workload.Stream, stage Stage, cacheCfg cpu.
 	}
 	g := pool.New(workers)
 	for t, s := range streams {
-		g.Go(func() error {
+		g.GoCtx(ctx, func() error {
 			sp := obs.StartSpan("trace.cpi_measure:" + stage.String())
 			defer sp.End()
 			cache, err := cpu.NewCache(cacheCfg)
@@ -335,7 +349,7 @@ func BuildProfilesWorkers(streams []*workload.Stream, stage Stage, cacheCfg cpu.
 			return nil
 		})
 		for ii := range s.Intervals {
-			g.Go(func() error {
+			g.GoCtx(ctx, func() error {
 				bsp := obs.StartSpan("trace.interval_build:" + stage.String())
 				defer bsp.End()
 				sc := NewStageCircuit(stage)
