@@ -1,14 +1,16 @@
 // Command obscheck validates the observability artifacts a synts run
-// emits: the -stats-json snapshot, the -trace-out Chrome trace, and the
-// -events-out decision ledger. CI runs it against freshly generated files
-// so a schema regression fails the build instead of silently shipping
-// artifacts no dashboard can parse.
+// emits: the -stats-json snapshot, the -trace-out Chrome trace, the
+// -events-out decision ledger and the -simprof-out simulation profile.
+// CI runs it against freshly generated files so a schema regression fails
+// the build instead of silently shipping artifacts no dashboard can parse.
 //
 // Usage:
 //
-//	obscheck -stats stats.json -trace trace.json -events events.jsonl -ckpt ckptdir
+//	obscheck -stats stats.json -trace trace.json -events events.jsonl -ckpt ckptdir -simprof simprof.pb.gz
 //
-// Any flag may be omitted to check only the others.
+// Any flag may be omitted to check only the others. When both -events and
+// -simprof are given, the profiler's replay- and sampling-phase totals are
+// cross-checked against the ledger's replay/estimate events.
 package main
 
 import (
@@ -16,12 +18,16 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strings"
 
 	"synts/internal/ckpt"
+	"synts/internal/isa"
 	"synts/internal/obs"
+	"synts/internal/simprof"
 	"synts/internal/telemetry"
+	"synts/internal/trace"
 )
 
 func main() {
@@ -29,9 +35,11 @@ func main() {
 	tracePath := flag.String("trace", "", "path to a -trace-out Chrome trace")
 	eventsPath := flag.String("events", "", "path to an -events-out decision ledger (synts-events/v1 JSONL)")
 	ckptPath := flag.String("ckpt", "", "path to a -checkpoint-dir directory (synts-ckpt/v1)")
+	simprofPath := flag.String("simprof", "", "path to a -simprof-out simulation profile (gzipped pprof profile.proto)")
+	allowEmpty := flag.Bool("allow-empty", false, "accept a ledger or profile with zero events/samples (schema is still enforced)")
 	flag.Parse()
-	if *statsPath == "" && *tracePath == "" && *eventsPath == "" && *ckptPath == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace, -events and/or -ckpt)")
+	if *statsPath == "" && *tracePath == "" && *eventsPath == "" && *ckptPath == "" && *simprofPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace, -events, -ckpt and/or -simprof)")
 		os.Exit(2)
 	}
 	failed := false
@@ -48,8 +56,9 @@ func main() {
 	}
 	check(*statsPath, checkStats)
 	check(*tracePath, checkTrace)
-	check(*eventsPath, checkEvents)
+	check(*eventsPath, func(p string) error { return checkEvents(p, *allowEmpty) })
 	check(*ckptPath, checkCkpt)
+	check(*simprofPath, func(p string) error { return checkSimprof(p, *eventsPath, *allowEmpty) })
 	if failed {
 		os.Exit(1)
 	}
@@ -180,7 +189,7 @@ func checkCkpt(dir string) error {
 	return nil
 }
 
-func checkEvents(path string) error {
+func checkEvents(path string, allowEmpty bool) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -190,7 +199,10 @@ func checkEvents(path string) error {
 		return err
 	}
 	if len(events) == 0 {
-		return fmt.Errorf("ledger contains no events")
+		if allowEmpty {
+			return nil
+		}
+		return fmt.Errorf("ledger contains no events (pass -allow-empty if a bare header is expected)")
 	}
 	kinds := map[string]int{}
 	for i := range events {
@@ -212,4 +224,226 @@ func checkEvents(path string) error {
 		return fmt.Errorf("ledger is not in canonical order (or uses non-canonical encoding): re-serialising %d events changed the bytes", len(events))
 	}
 	return nil
+}
+
+// simprofSampleKey is a profile sample's bucket key reconstructed from
+// its synthetic stack and labels, used to verify canonical sample order.
+type simprofSampleKey struct {
+	kernel           string
+	core, interval   int64
+	phase, op, stage string
+}
+
+// simprofKeyLess mirrors the profiler's canonical bucket order.
+func simprofKeyLess(a, b simprofSampleKey) bool {
+	if a.kernel != b.kernel {
+		return a.kernel < b.kernel
+	}
+	if a.core != b.core {
+		return a.core < b.core
+	}
+	if a.interval != b.interval {
+		return a.interval < b.interval
+	}
+	if a.phase != b.phase {
+		return a.phase < b.phase
+	}
+	if a.op != b.op {
+		return a.op < b.op
+	}
+	return a.stage < b.stage
+}
+
+// checkSimprof enforces the -simprof-out contract: the file decodes as a
+// (gzipped) pprof profile.proto via the in-repo parser, declares exactly
+// the three simprof sample types, and every sample carries the five-frame
+// synthetic stack kernel → c<core>.iv<interval> → phase → op → stage with
+// a known phase, a known opcode (or synthetic frame), a known pipe stage,
+// matching core/interval labels, non-negative values, and canonical
+// sample order. With a ledger alongside, the profiler's replay-phase
+// error totals must equal the ledger's replay events exactly per
+// (kernel, stage) — cycles within per-sample rounding — and likewise for
+// the sampling phase against estimate events.
+func checkSimprof(path, eventsPath string, allowEmpty bool) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	p, err := simprof.Parse(raw)
+	if err != nil {
+		return fmt.Errorf("not a pprof profile: %w", err)
+	}
+	wantTypes := []simprof.ParsedValueType{
+		{Type: "sim_cycles", Unit: "cycles"},
+		{Type: "replay_errors", Unit: "errors"},
+		{Type: "energy_pj", Unit: "picojoules"},
+	}
+	if len(p.SampleTypes) != len(wantTypes) {
+		return fmt.Errorf("%d sample types, want %d", len(p.SampleTypes), len(wantTypes))
+	}
+	for i, want := range wantTypes {
+		if p.SampleTypes[i] != want {
+			return fmt.Errorf("sample type %d is %s/%s, want %s/%s",
+				i, p.SampleTypes[i].Type, p.SampleTypes[i].Unit, want.Type, want.Unit)
+		}
+	}
+	if p.DefaultSampleType != "sim_cycles" {
+		return fmt.Errorf("default sample type %q, want sim_cycles", p.DefaultSampleType)
+	}
+	if len(p.Samples) == 0 {
+		if allowEmpty {
+			return nil
+		}
+		return fmt.Errorf("profile contains no samples (pass -allow-empty if the run recorded nothing)")
+	}
+
+	phases := map[string]bool{}
+	for _, ph := range simprof.Phases() {
+		phases[ph] = true
+	}
+	ops := map[string]bool{simprof.OpStall: true, simprof.OpChaos: true}
+	for op := 0; op < isa.NumOps; op++ {
+		ops[isa.Op(op).String()] = true
+	}
+	stages := map[string]bool{}
+	for _, st := range trace.Stages() {
+		stages[st.String()] = true
+	}
+
+	// Per-(kernel, stage) totals for the ledger cross-check, split by phase.
+	type totals struct {
+		errors  int64
+		cycles  float64
+		samples int64
+	}
+	replayTot := map[[2]string]*totals{}
+	samplingTot := map[[2]string]*totals{}
+	var prev simprofSampleKey
+	for i, s := range p.Samples {
+		if len(s.Stack) != 5 {
+			return fmt.Errorf("sample %d: stack depth %d, want 5 (kernel/coreiv/phase/op/stage)", i, len(s.Stack))
+		}
+		if len(s.Values) != len(wantTypes) {
+			return fmt.Errorf("sample %d: %d values, want %d", i, len(s.Values), len(wantTypes))
+		}
+		for j, v := range s.Values {
+			if v < 0 {
+				return fmt.Errorf("sample %d: negative %s value %d", i, wantTypes[j].Type, v)
+			}
+		}
+		k := simprofSampleKey{
+			kernel:   s.Stack[4],
+			core:     s.NumLabels["core"],
+			interval: s.NumLabels["interval"],
+			phase:    s.Stack[2],
+			op:       s.Stack[1],
+			stage:    s.Stack[0],
+		}
+		if k.kernel == "" {
+			return fmt.Errorf("sample %d: empty kernel frame", i)
+		}
+		if !phases[k.phase] {
+			return fmt.Errorf("sample %d: unknown phase %q", i, k.phase)
+		}
+		if !ops[k.op] {
+			return fmt.Errorf("sample %d: unknown op frame %q", i, k.op)
+		}
+		if !stages[k.stage] {
+			return fmt.Errorf("sample %d: unknown pipe stage %q", i, k.stage)
+		}
+		if want := fmt.Sprintf("c%d.iv%d", k.core, k.interval); s.Stack[3] != want {
+			return fmt.Errorf("sample %d: core/interval frame %q does not match labels (%s)", i, s.Stack[3], want)
+		}
+		if i > 0 && !simprofKeyLess(prev, k) {
+			return fmt.Errorf("sample %d: out of canonical order (after %+v comes %+v)", i, prev, k)
+		}
+		prev = k
+
+		var tot map[[2]string]*totals
+		switch k.phase {
+		case simprof.PhaseReplay:
+			tot = replayTot
+		case simprof.PhaseSampling:
+			tot = samplingTot
+		default:
+			continue
+		}
+		g := tot[[2]string{k.kernel, k.stage}]
+		if g == nil {
+			g = &totals{}
+			tot[[2]string{k.kernel, k.stage}] = g
+		}
+		g.errors += s.Values[1]
+		g.cycles += float64(s.Values[0])
+		g.samples++
+	}
+
+	if eventsPath == "" {
+		return nil
+	}
+	events, err := telemetry.ReadJSONLFile(eventsPath)
+	if err != nil {
+		return fmt.Errorf("cross-check ledger: %w", err)
+	}
+	type ledgerTotals struct {
+		replays float64
+		cycles  float64
+	}
+	replayLed := map[[2]string]*ledgerTotals{}
+	samplingLed := map[[2]string]*ledgerTotals{}
+	for _, e := range events {
+		var led map[[2]string]*ledgerTotals
+		var cycles float64
+		switch e.Kind {
+		case telemetry.KindReplay:
+			led, cycles = replayLed, e.Cycles
+		case telemetry.KindEstimate:
+			led, cycles = samplingLed, e.SampleCycles
+		default:
+			continue
+		}
+		g := led[[2]string{e.Bench, e.Stage}]
+		if g == nil {
+			g = &ledgerTotals{}
+			led[[2]string{e.Bench, e.Stage}] = g
+		}
+		g.replays += e.Replays
+		g.cycles += cycles
+	}
+	crossCheck := func(phase string, tot map[[2]string]*totals, led map[[2]string]*ledgerTotals) error {
+		groups := map[[2]string]bool{}
+		for g := range tot {
+			groups[g] = true
+		}
+		for g := range led {
+			groups[g] = true
+		}
+		for g := range groups {
+			var pErr, pSamples int64
+			var pCycles float64
+			if t := tot[g]; t != nil {
+				pErr, pCycles, pSamples = t.errors, t.cycles, t.samples
+			}
+			var lReplays, lCycles float64
+			if l := led[g]; l != nil {
+				lReplays, lCycles = l.replays, l.cycles
+			}
+			if pErr != int64(math.Round(lReplays)) {
+				return fmt.Errorf("%s/%s: simprof %s errors %d != ledger replays %.0f",
+					g[0], g[1], phase, pErr, lReplays)
+			}
+			// Profile cycle values are rounded per sample; allow that plus
+			// float-summation slack on the ledger side.
+			tol := 0.5*float64(pSamples) + 1e-6*math.Abs(lCycles) + 1
+			if math.Abs(pCycles-lCycles) > tol {
+				return fmt.Errorf("%s/%s: simprof %s cycles %.1f vs ledger %.1f (tolerance %.1f)",
+					g[0], g[1], phase, pCycles, lCycles, tol)
+			}
+		}
+		return nil
+	}
+	if err := crossCheck("replay", replayTot, replayLed); err != nil {
+		return err
+	}
+	return crossCheck("sampling", samplingTot, samplingLed)
 }

@@ -8,6 +8,7 @@ import (
 	"testing"
 
 	"synts/internal/ckpt"
+	"synts/internal/simprof"
 	"synts/internal/telemetry"
 )
 
@@ -38,7 +39,7 @@ func goodEvents() []telemetry.Event {
 
 func TestCheckEventsAcceptsCanonicalLedger(t *testing.T) {
 	path := writeLedger(t, goodEvents())
-	if err := checkEvents(path); err != nil {
+	if err := checkEvents(path, false); err != nil {
 		t.Fatalf("checkEvents rejected a canonical ledger: %v", err)
 	}
 }
@@ -48,13 +49,13 @@ func TestCheckEventsRejects(t *testing.T) {
 		evs := goodEvents()
 		evs[0].EstErr = 2 // outside [0,1]
 		path := writeLedger(t, evs)
-		if err := checkEvents(path); err == nil {
+		if err := checkEvents(path, false); err == nil {
 			t.Fatal("accepted a ledger with est_err > 1")
 		}
 	})
 	t.Run("missing kind", func(t *testing.T) {
 		path := writeLedger(t, goodEvents()[:2]) // no estimate event
-		if err := checkEvents(path); err == nil {
+		if err := checkEvents(path, false); err == nil {
 			t.Fatal("accepted a ledger with no estimate events")
 		}
 	})
@@ -73,7 +74,7 @@ func TestCheckEventsRejects(t *testing.T) {
 		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := checkEvents(path); err == nil {
+		if err := checkEvents(path, false); err == nil {
 			t.Fatal("accepted a ledger in non-canonical order")
 		}
 	})
@@ -82,16 +83,144 @@ func TestCheckEventsRejects(t *testing.T) {
 		if err := os.WriteFile(path, []byte(`{"schema":"synts-events/v0"}`+"\n"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := checkEvents(path); err == nil {
+		if err := checkEvents(path, false); err == nil {
 			t.Fatal("accepted a ledger with the wrong schema version")
 		}
 	})
 	t.Run("empty ledger", func(t *testing.T) {
 		path := writeLedger(t, nil)
-		if err := checkEvents(path); err == nil {
+		if err := checkEvents(path, false); err == nil {
 			t.Fatal("accepted an event-free ledger")
 		}
 	})
+}
+
+// -allow-empty downgrades the zero-events error (schema is still checked).
+func TestCheckEventsAllowEmpty(t *testing.T) {
+	path := writeLedger(t, nil)
+	if err := checkEvents(path, true); err != nil {
+		t.Fatalf("-allow-empty still rejected a header-only ledger: %v", err)
+	}
+	bad := filepath.Join(t.TempDir(), "events.jsonl")
+	if err := os.WriteFile(bad, []byte(`{"schema":"synts-events/v0"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkEvents(bad, true); err == nil {
+		t.Fatal("-allow-empty accepted a wrong schema version")
+	}
+}
+
+// writeSimprof snapshots the current simprof state into a profile file.
+func writeSimprof(t *testing.T) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := simprof.WriteProfile(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "simprof.pb.gz")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func recordSimprofFixture(t *testing.T) {
+	t.Helper()
+	simprof.Enable()
+	t.Cleanup(simprof.Disable)
+	simprof.Record(
+		simprof.Key{Kernel: "b", Core: 0, Interval: 0, Phase: simprof.PhaseReplay, Op: "ADD", Stage: "SimpleALU"},
+		simprof.Values{Cycles: 10, Errors: 2, Energy: 10, Instrs: 8})
+	simprof.Record(
+		simprof.Key{Kernel: "b", Core: 0, Interval: 0, Phase: simprof.PhaseReplay, Op: simprof.OpStall, Stage: "SimpleALU"},
+		simprof.Values{Cycles: 5, Energy: 2.5})
+	simprof.Record(
+		simprof.Key{Kernel: "b", Core: 1, Interval: 0, Phase: simprof.PhaseSampling, Op: "LD", Stage: "SimpleALU"},
+		simprof.Values{Cycles: 4, Errors: 1, Energy: 4, Instrs: 3})
+}
+
+func TestCheckSimprofValidProfile(t *testing.T) {
+	recordSimprofFixture(t)
+	path := writeSimprof(t)
+	if err := checkSimprof(path, "", false); err != nil {
+		t.Fatalf("rejected a valid profile: %v", err)
+	}
+	// Cross-check against a ledger whose replay/estimate totals match the
+	// recorded attribution exactly.
+	ledger := writeLedger(t, []telemetry.Event{
+		{Kind: telemetry.KindReplay, Bench: "b", Stage: "SimpleALU",
+			Core: 0, Replays: 2, Instrs: 8, Cycles: 15},
+		{Kind: telemetry.KindEstimate, Bench: "b", Stage: "SimpleALU",
+			Core: 1, Replays: 1, SampleBudget: 3, SampleCycles: 4},
+	})
+	if err := checkSimprof(path, ledger, false); err != nil {
+		t.Fatalf("cross-check rejected matching totals: %v", err)
+	}
+}
+
+func TestCheckSimprofCrossCheckMismatch(t *testing.T) {
+	recordSimprofFixture(t)
+	path := writeSimprof(t)
+	ledger := writeLedger(t, []telemetry.Event{
+		{Kind: telemetry.KindReplay, Bench: "b", Stage: "SimpleALU",
+			Core: 0, Replays: 3, Instrs: 8, Cycles: 15}, // one replay too many
+		{Kind: telemetry.KindEstimate, Bench: "b", Stage: "SimpleALU",
+			Core: 1, Replays: 1, SampleBudget: 3, SampleCycles: 4},
+	})
+	err := checkSimprof(path, ledger, false)
+	if err == nil || !strings.Contains(err.Error(), "errors") {
+		t.Fatalf("accepted a replay-count mismatch (err = %v)", err)
+	}
+	// A ledger group with no profile counterpart must also fail.
+	ledger2 := writeLedger(t, []telemetry.Event{
+		{Kind: telemetry.KindReplay, Bench: "b", Stage: "Decode",
+			Core: 0, Replays: 1, Cycles: 1},
+	})
+	if err := checkSimprof(path, ledger2, false); err == nil {
+		t.Fatal("accepted a ledger replay group the profile never recorded")
+	}
+}
+
+func TestCheckSimprofRejectsBadFrames(t *testing.T) {
+	simprof.Enable()
+	t.Cleanup(simprof.Disable)
+	simprof.Record(
+		simprof.Key{Kernel: "b", Core: 0, Interval: 0, Phase: "warp", Op: "ADD", Stage: "SimpleALU"},
+		simprof.Values{Cycles: 1, Instrs: 1})
+	path := writeSimprof(t)
+	if err := checkSimprof(path, "", false); err == nil || !strings.Contains(err.Error(), "phase") {
+		t.Fatalf("accepted an unknown phase frame (err = %v)", err)
+	}
+	simprof.Reset()
+	simprof.Record(
+		simprof.Key{Kernel: "b", Core: 0, Interval: 0, Phase: simprof.PhaseReplay, Op: "FROB", Stage: "SimpleALU"},
+		simprof.Values{Cycles: 1, Instrs: 1})
+	path = writeSimprof(t)
+	if err := checkSimprof(path, "", false); err == nil || !strings.Contains(err.Error(), "op") {
+		t.Fatalf("accepted an unknown op frame (err = %v)", err)
+	}
+}
+
+func TestCheckSimprofEmpty(t *testing.T) {
+	simprof.Enable()
+	t.Cleanup(simprof.Disable)
+	path := writeSimprof(t)
+	if err := checkSimprof(path, "", false); err == nil {
+		t.Fatal("accepted a sample-free profile without -allow-empty")
+	}
+	if err := checkSimprof(path, "", true); err != nil {
+		t.Fatalf("-allow-empty still rejected a sample-free profile: %v", err)
+	}
+}
+
+func TestCheckSimprofNotAProfile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "junk")
+	if err := os.WriteFile(path, []byte("not a profile"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := checkSimprof(path, "", false); err == nil {
+		t.Fatal("accepted a non-profile file")
+	}
 }
 
 func TestCheckCkpt(t *testing.T) {

@@ -23,6 +23,7 @@ import (
 	"synts/internal/exp"
 	"synts/internal/faults"
 	"synts/internal/obs"
+	"synts/internal/simprof"
 	"synts/internal/telemetry"
 	"synts/internal/trace"
 	"synts/internal/workload"
@@ -67,6 +68,7 @@ func benchSuite(size int) ([]string, map[string]func(b *testing.B), error) {
 		"telemetry/RecordDisabled",
 		"telemetry/RecordEnabled",
 		"faults/EstimateDisabled",
+		"simprof/RecordDisabled",
 	}
 	suite := map[string]func(b *testing.B){
 		"BuildProfilesSerial/radix/SimpleALU": func(b *testing.B) {
@@ -148,6 +150,15 @@ func benchSuite(size int) ([]string, map[string]func(b *testing.B), error) {
 				sink = faults.Estimate(0, 1, 0.25)
 			}
 			_ = sink
+		},
+		"simprof/RecordDisabled": func(b *testing.B) {
+			simprof.Disable()
+			k := simprof.Key{Kernel: "bench", Phase: simprof.PhaseReplay, Op: "ADD", Stage: "SimpleALU"}
+			v := simprof.Values{Cycles: 1, Instrs: 1}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				simprof.Record(k, v)
+			}
 		},
 	}
 	return names, suite, nil

@@ -16,7 +16,9 @@ import (
 
 	"synts/internal/core"
 	"synts/internal/exp"
+	"synts/internal/isa"
 	"synts/internal/report"
+	"synts/internal/simprof"
 	"synts/internal/telemetry"
 	"synts/internal/trace"
 )
@@ -90,6 +92,12 @@ func runExplainCmd(args []string, stdout, stderr io.Writer) error {
 	for _, s := range summaries {
 		renderStageExplain(stdout, s)
 	}
+	// The op x stage replay heatmap comes from the simulation profiler,
+	// which only has data on a live run (the JSONL ledger does not carry
+	// per-op attribution).
+	if *eventsIn == "" {
+		renderSimprofHeatmap(stdout, bench)
+	}
 	// Surface in-memory ledger overflow from a live run: analysis above is
 	// incomplete if the cap discarded events (batch runs avoid this by
 	// spilling to disk when -events-out is set).
@@ -111,6 +119,10 @@ func explainLedger(bench string, opts exp.Options, stages []trace.Stage) ([]tele
 	}
 	telemetry.Enable()
 	defer telemetry.Disable()
+	// The simulation profiler rides along: its replay-phase attribution
+	// feeds the op x stage heatmap rendered after the stage summaries.
+	simprof.Enable()
+	defer simprof.Disable()
 	for _, st := range stages {
 		ivs, err := b.Intervals(st)
 		if err != nil {
@@ -169,4 +181,67 @@ func renderStageExplain(w io.Writer, s *telemetry.StageSummary) {
 		solvers.Render(w)
 	}
 	fmt.Fprintf(w, "  ledger: %d estimates, %d replays, %d barriers\n\n", s.Estimates, s.Replayed, s.Barriers)
+}
+
+// renderSimprofHeatmap aggregates the simulation profiler's replay-phase
+// attribution for one benchmark into an op x pipe-stage error-rate table:
+// each cell is Razor errors per instruction of that op through that stage,
+// the per-op view of the paper's sensitized-delay heterogeneity. Rows keep
+// the ISA enum order so the table is stable run to run.
+func renderSimprofHeatmap(w io.Writer, bench string) {
+	stages := trace.Stages()
+	colOf := make(map[string]int, len(stages))
+	headers := []string{"op"}
+	for i, st := range stages {
+		colOf[st.String()] = i
+		headers = append(headers, st.String())
+	}
+	type cell struct{ errors, instrs int64 }
+	rows := map[string][]cell{}
+	for _, e := range simprof.Snapshot() {
+		if e.Kernel != bench || e.Phase != simprof.PhaseReplay {
+			continue
+		}
+		ci, ok := colOf[e.Stage]
+		if !ok {
+			continue
+		}
+		row := rows[e.Op]
+		if row == nil {
+			row = make([]cell, len(stages))
+			rows[e.Op] = row
+		}
+		row[ci].errors += e.Errors
+		row[ci].instrs += e.Instrs
+	}
+	if len(rows) == 0 {
+		return
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("Explain %s: replay error rate per op x pipe stage (errors/instr)", bench),
+		Headers: headers,
+	}
+	order := make([]string, 0, isa.NumOps+2)
+	for op := 0; op < isa.NumOps; op++ {
+		order = append(order, isa.Op(op).String())
+	}
+	order = append(order, simprof.OpStall, simprof.OpChaos)
+	for _, op := range order {
+		row, ok := rows[op]
+		if !ok {
+			continue
+		}
+		cells := make([]interface{}, 0, len(stages)+1)
+		cells = append(cells, op)
+		for _, c := range row {
+			if c.instrs > 0 {
+				cells = append(cells, fmt.Sprintf("%.4f", float64(c.errors)/float64(c.instrs)))
+			} else {
+				cells = append(cells, "-")
+			}
+		}
+		t.AddRow(cells...)
+	}
+	t.Render(w)
+	fmt.Fprintln(w)
 }

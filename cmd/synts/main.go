@@ -35,6 +35,7 @@ import (
 	"synts/internal/obs"
 	"synts/internal/pool"
 	"synts/internal/report"
+	"synts/internal/simprof"
 	"synts/internal/telemetry"
 	"synts/internal/trace"
 	"synts/internal/workload"
@@ -52,10 +53,12 @@ var (
 	statsJSON  = flag.String("stats-json", "", "write the metrics snapshot as JSON to `file`")
 	traceOut   = flag.String("trace-out", "", "write a Chrome trace-event JSON (chrome://tracing) to `file`")
 	eventsOut  = flag.String("events-out", "", "write the simulation decision ledger (synts-events/v1 JSONL) to `file`")
+	eventsCap  = flag.Int("events-mem-cap", 0, "in-memory ledger event cap before spilling to disk (0 = default; needs -events-out)")
+	simprofOut = flag.String("simprof-out", "", "write the simulation-domain pprof profile to `file` (.gz) and folded stacks to `file`.folded")
 	cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to `file`")
 	memprofile = flag.String("memprofile", "", "write a pprof heap profile to `file`")
 
-	chaos        = flag.String("chaos", "off", "deterministic fault injection `spec`: class[=rate],... (classes: sample-noise, sample-drop, sample-nan, replay-perturb, task-panic, task-stall)")
+	chaos        = flag.String("chaos", "off", "deterministic fault injection `spec`: class[=rate],... (classes: sample-noise, sample-drop, sample-nan, replay-perturb, task-panic, task-stall, ckpt-write-fail, ledger-spill-torn)")
 	chaosSeed    = flag.Int64("chaos-seed", 1, "seed for the fault injector's decisions")
 	ckptDir      = flag.String("checkpoint-dir", "", "write each completed experiment's output to `dir` (synts-ckpt/v1, atomic)")
 	resume       = flag.Bool("resume", false, "replay experiments already completed in -checkpoint-dir instead of recomputing them")
@@ -120,6 +123,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "synts: -events-out: %v\n", err)
 			os.Exit(1)
 		}
+		if *eventsCap > 0 {
+			telemetry.SetMemCap(*eventsCap)
+		}
+	}
+	if *simprofOut != "" {
+		simprof.Enable()
 	}
 	if err := faults.Enable(*chaos, *chaosSeed); err != nil {
 		fmt.Fprintf(os.Stderr, "synts: -chaos: %v\n", err)
@@ -158,6 +167,16 @@ func main() {
 	}
 	if *eventsOut != "" {
 		if err := telemetry.WriteJSONLFile(*eventsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "synts: %v\n", err)
+			os.Exit(1)
+		}
+		if torn := telemetry.Torn(); torn > 0 {
+			fmt.Fprintf(os.Stderr, "synts: %d spill line(s) torn by fault injection; unparseable lines were skipped (%d) in the final merge\n",
+				torn, telemetry.SpillSkipped())
+		}
+	}
+	if *simprofOut != "" {
+		if err := writeSimprofArtifacts(*simprofOut); err != nil {
 			fmt.Fprintf(os.Stderr, "synts: %v\n", err)
 			os.Exit(1)
 		}
@@ -214,10 +233,11 @@ func runAllCtx(ctx context.Context, names []string, opts exp.Options, jobs int, 
 	}
 	r := &runner{ctx: ctx, opts: opts, benches: exp.NewBenchCache()}
 	type result struct {
-		buf    bytes.Buffer
-		err    error
-		took   time.Duration
-		cached bool
+		buf     bytes.Buffer
+		err     error
+		ckptErr error // checkpoint write failed; the run itself succeeded
+		took    time.Duration
+		cached  bool
 	}
 	results := make([]*result, len(exps))
 	ready := make([]chan struct{}, len(exps))
@@ -243,7 +263,11 @@ func runAllCtx(ctx context.Context, names []string, opts exp.Options, jobs int, 
 				results[i].took = time.Since(start)
 				sp.End()
 				if results[i].err == nil && store != nil {
-					results[i].err = store.Save(e.name, results[i].buf.Bytes())
+					// A failed checkpoint write must not fail the run: the
+					// output bytes are in hand and flushed below; only a
+					// later -resume loses the shortcut. Surfaced as a
+					// warning in the (deterministic) flush loop.
+					results[i].ckptErr = store.Save(e.name, results[i].buf.Bytes())
 				}
 				close(ready[i])
 				return nil // errors surface in request order below
@@ -287,6 +311,9 @@ func runAllCtx(ctx context.Context, names []string, opts exp.Options, jobs int, 
 		if _, err := io.Copy(stdout, &res.buf); err != nil {
 			firstErr = err
 			continue
+		}
+		if res.ckptErr != nil {
+			fmt.Fprintf(stderr, "synts: checkpoint %s: %v (resume will recompute it)\n", names[i], res.ckptErr)
 		}
 		if verbose {
 			if res.cached {

@@ -28,6 +28,7 @@ import (
 
 	"synts/internal/exp"
 	"synts/internal/obs"
+	"synts/internal/simprof"
 	"synts/internal/telemetry"
 )
 
@@ -57,6 +58,16 @@ func newServeMux() *http.ServeMux {
 		w.Write(buf.Bytes())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/simprof", func(w http.ResponseWriter, req *http.Request) {
+		// Simulation-domain profile: the same gzipped profile.proto bytes
+		// -simprof-out writes, served live so `go tool pprof
+		// http://HOST/debug/simprof` attributes simulated cycles mid-run.
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("Content-Disposition", `attachment; filename="simprof.pb.gz"`)
+		if err := simprof.WriteProfile(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -67,7 +78,7 @@ func newServeMux() *http.ServeMux {
 			http.NotFound(w, req)
 			return
 		}
-		fmt.Fprint(w, "synts serve\n\n/metrics      Prometheus text exposition\n/debug/vars   expvar JSON\n/debug/pprof/ pprof index\n")
+		fmt.Fprint(w, "synts serve\n\n/metrics        Prometheus text exposition\n/debug/vars     expvar JSON\n/debug/pprof/   pprof index\n/debug/simprof  simulation-domain pprof profile (gzipped profile.proto)\n")
 	})
 	return mux
 }
@@ -98,6 +109,7 @@ func runServeCmd(args []string, stdout, stderr io.Writer) error {
 	// Serving implies instrumentation: the endpoints are the whole point.
 	obs.Enable()
 	telemetry.Enable()
+	simprof.Enable()
 	if *eventsOut != "" {
 		if err := telemetry.SetSpill(*eventsOut + ".spill"); err != nil {
 			return err

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"synts/internal/simprof"
+)
+
+// writeSimprofArtifacts snapshots the simulation-domain profiler into two
+// sibling artifacts: path holds the gzipped pprof profile (go tool pprof
+// reads it directly) and path+".folded" holds the same attribution as
+// folded stacks (flamegraph.pl / speedscope input). Both render the
+// canonical-order snapshot, so they are byte-identical for a given
+// workload at any -j.
+func writeSimprofArtifacts(path string) error {
+	pb, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("-simprof-out: %w", err)
+	}
+	if err := simprof.WriteProfile(pb); err != nil {
+		pb.Close()
+		return fmt.Errorf("-simprof-out: %w", err)
+	}
+	if err := pb.Close(); err != nil {
+		return fmt.Errorf("-simprof-out: %w", err)
+	}
+	folded, err := os.Create(path + ".folded")
+	if err != nil {
+		return fmt.Errorf("-simprof-out: %w", err)
+	}
+	if err := simprof.WriteFolded(folded); err != nil {
+		folded.Close()
+		return fmt.Errorf("-simprof-out: %w", err)
+	}
+	return folded.Close()
+}

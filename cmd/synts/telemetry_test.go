@@ -12,6 +12,7 @@ import (
 
 	"synts/internal/exp"
 	"synts/internal/obs"
+	"synts/internal/simprof"
 	"synts/internal/telemetry"
 )
 
@@ -83,6 +84,11 @@ func TestServeMuxEndpoints(t *testing.T) {
 	telemetry.Enable()
 	defer telemetry.Disable()
 	telemetry.Record(telemetry.Event{Kind: telemetry.KindDecision, Bench: "b", Stage: "s", Solver: "SynTS"})
+	simprof.Enable()
+	defer simprof.Disable()
+	simprof.Record(
+		simprof.Key{Kernel: "b", Core: 0, Interval: 0, Phase: simprof.PhaseReplay, Op: "ADD", Stage: "SimpleALU"},
+		simprof.Values{Cycles: 3, Errors: 1, Energy: 3, Instrs: 2})
 
 	srv := httptest.NewServer(newServeMux())
 	defer srv.Close()
@@ -120,6 +126,26 @@ func TestServeMuxEndpoints(t *testing.T) {
 	}
 	if n, ok := vars["synts_telemetry_events"].(float64); !ok || n < 1 {
 		t.Errorf("synts_telemetry_events = %v, want >= 1", vars["synts_telemetry_events"])
+	}
+
+	resp, err = http.Get(srv.URL + "/debug/simprof")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/debug/simprof status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Errorf("/debug/simprof Content-Type = %q", ct)
+	}
+	prof, err := simprof.Parse(body)
+	if err != nil {
+		t.Fatalf("/debug/simprof is not a parseable profile: %v", err)
+	}
+	if len(prof.Samples) == 0 {
+		t.Error("/debug/simprof served a profile with no samples")
 	}
 
 	resp, err = http.Get(srv.URL + "/nope")
@@ -172,6 +198,7 @@ func TestExplainCmd(t *testing.T) {
 		"online sampling overhead",
 		"solver decisions",
 		"SynTS-online",
+		"replay error rate per op",
 	} {
 		if !strings.Contains(out.String(), want) {
 			t.Errorf("explain output missing %q:\n%s", want, out.String())

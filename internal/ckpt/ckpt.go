@@ -18,6 +18,8 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+
+	"synts/internal/faults"
 )
 
 // SchemaVersion identifies the checkpoint file format.
@@ -93,6 +95,13 @@ func (s *Store) Save(experiment string, output []byte) error {
 	tmp := s.path(experiment) + ".tmp"
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
 		return err
+	}
+	if faults.Enabled() && faults.CkptSaveFail(experiment) {
+		// Chaos harness: the write "succeeded" but the device died before
+		// the rename — exactly the window tmp-then-rename defends. The
+		// stray .tmp is deliberately left behind: ValidateDir and Load
+		// must ignore it.
+		return fmt.Errorf("ckpt: %s: injected write fault before rename (checkpoint lost, .tmp left)", experiment)
 	}
 	return os.Rename(tmp, s.path(experiment))
 }

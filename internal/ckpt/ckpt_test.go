@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"synts/internal/faults"
 )
 
 func testKey() Key { return Key{Size: 1, Seed: 2016, Threads: 4, Intervals: 3} }
@@ -142,5 +144,44 @@ func TestValidateFileNameMismatch(t *testing.T) {
 	}
 	if _, err := ValidateFile(renamed); err == nil {
 		t.Error("file name / experiment mismatch must fail validation")
+	}
+}
+
+// An injected ckpt-write-fail fires between the .tmp write and the
+// rename: Save errors, the stray .tmp stays behind, and both Load and
+// ValidateDir treat the directory as having no checkpoint. Once the
+// fault clears, the same experiment checkpoints normally.
+func TestSaveInjectedWriteFaultLeavesTmp(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, Key{Size: 1, Seed: 1, Threads: 1, Intervals: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := faults.Enable(faults.CkptWriteFail+"=1", 1); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disable()
+	if err := s.Save("fig1.2", []byte("rendered\n")); err == nil {
+		t.Fatal("injected write fault did not surface from Save")
+	}
+	if _, err := os.Stat(filepath.Join(dir, "fig1.2.ckpt.json.tmp")); err != nil {
+		t.Errorf("stray .tmp missing after injected fault: %v", err)
+	}
+	if _, ok := s.Load("fig1.2"); ok {
+		t.Error("Load returned a checkpoint that was never renamed into place")
+	}
+	entries, err := ValidateDir(dir)
+	if err != nil {
+		t.Fatalf("ValidateDir tripped over the stray .tmp: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("ValidateDir found %d checkpoints, want 0", len(entries))
+	}
+	faults.Disable()
+	if err := s.Save("fig1.2", []byte("rendered\n")); err != nil {
+		t.Fatalf("Save after the fault cleared: %v", err)
+	}
+	if out, ok := s.Load("fig1.2"); !ok || string(out) != "rendered\n" {
+		t.Fatalf("Load after recovery = %q, %v", out, ok)
 	}
 }

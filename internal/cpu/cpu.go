@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"synts/internal/isa"
+	"synts/internal/simprof"
 )
 
 // CacheConfig describes a set-associative cache with LRU replacement.
@@ -152,6 +153,17 @@ func (r CPIResult) HitRatio() float64 {
 // data-cache misses. The cache persists across calls, so per-interval
 // CPIs reflect warm-up exactly as a continuous execution would.
 func MeasureCPI(iv []isa.Inst, c *Cache) CPIResult {
+	return MeasureCPIScoped("", 0, 0, "", iv, c)
+}
+
+// MeasureCPIScoped is MeasureCPI with simprof attribution: per-opcode
+// cache-miss stall cycles land in phase "mem" under the given kernel,
+// core, interval and pipe-stage key. With kernel == "" or the profiler
+// disabled it is exactly MeasureCPI — the returned result never depends
+// on attribution.
+func MeasureCPIScoped(kernel string, coreID, interval int, stage string, iv []isa.Inst, c *Cache) CPIResult {
+	attr := kernel != "" && simprof.Enabled()
+	var accesses, misses [isa.NumOps]int64
 	res := CPIResult{Instructions: len(iv)}
 	for _, in := range iv {
 		if in.Op.Class() != isa.ClassMem {
@@ -162,6 +174,25 @@ func MeasureCPI(iv []isa.Inst, c *Cache) CPIResult {
 			res.Hits++
 		} else {
 			res.Misses++
+			if attr {
+				misses[in.Op]++
+			}
+		}
+		if attr {
+			accesses[in.Op]++
+		}
+	}
+	if attr {
+		penalty := float64(c.cfg.MissPenalty)
+		for op, n := range accesses {
+			if n == 0 {
+				continue
+			}
+			stall := float64(misses[op]) * penalty
+			simprof.Record(
+				simprof.Key{Kernel: kernel, Core: coreID, Interval: interval, Phase: simprof.PhaseMem, Op: isa.Op(op).String(), Stage: stage},
+				simprof.Values{Cycles: stall, Energy: stall * simprof.EnergyPerStallCyclePJ, Instrs: n},
+			)
 		}
 	}
 	if res.Instructions == 0 {

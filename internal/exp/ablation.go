@@ -235,12 +235,14 @@ func RecoveryAblation(b *Bench, stage trace.Stage) (*report.Table, error) {
 // marginal, and the independence approximation.
 func JointStageStudy(b *Bench, thread, interval int) (*report.Table, error) {
 	ps := make([]*trace.Profile, 0, 3)
+	stageNames := make([]string, 0, 3)
 	for _, st := range trace.Stages() {
 		profs, err := b.Profiles(st)
 		if err != nil {
 			return nil, err
 		}
 		ps = append(ps, profs[thread][interval])
+		stageNames = append(stageNames, st.String())
 	}
 	t := &report.Table{
 		Title: fmt.Sprintf("Joint multi-stage error analysis (%s, thread %d, barrier %d)",
@@ -248,7 +250,7 @@ func JointStageStudy(b *Bench, thread, interval int) (*report.Table, error) {
 		Headers: []string{"TSR", "Decode", "SimpleALU", "ComplexALU", "joint (exact)", "independence"},
 	}
 	for _, r := range TSRs() {
-		res, err := razor.JointReplay(ps, r)
+		res, err := razor.JointReplayScoped(b.Name, stageNames, ps, r)
 		if err != nil {
 			return nil, err
 		}

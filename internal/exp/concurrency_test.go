@@ -19,9 +19,9 @@ func stubBuilds(t *testing.T) *atomic.Int32 {
 	orig := buildProfiles
 	t.Cleanup(func() { buildProfiles = orig })
 	var builds atomic.Int32
-	buildProfiles = func(ctx context.Context, streams []*workload.Stream, stage trace.Stage, cfg cpu.CacheConfig) ([][]*trace.Profile, error) {
+	buildProfiles = func(ctx context.Context, kernel string, streams []*workload.Stream, stage trace.Stage, cfg cpu.CacheConfig) ([][]*trace.Profile, error) {
 		builds.Add(1)
-		return orig(ctx, streams, stage, cfg)
+		return orig(ctx, kernel, streams, stage, cfg)
 	}
 	return &builds
 }
@@ -90,7 +90,7 @@ func TestProfilesSingleflightError(t *testing.T) {
 	t.Cleanup(func() { buildProfiles = orig })
 	var builds atomic.Int32
 	fail := errors.New("synthetic build failure")
-	buildProfiles = func(context.Context, []*workload.Stream, trace.Stage, cpu.CacheConfig) ([][]*trace.Profile, error) {
+	buildProfiles = func(context.Context, string, []*workload.Stream, trace.Stage, cpu.CacheConfig) ([][]*trace.Profile, error) {
 		builds.Add(1)
 		return nil, fail
 	}

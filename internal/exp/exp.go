@@ -109,7 +109,11 @@ func classifyLookup(prefix string, existed, done bool) {
 }
 
 // buildProfiles is swapped out by tests that count build invocations.
-var buildProfiles = trace.BuildProfilesCtx
+// The kernel name scopes simprof attribution to the benchmark; results
+// are independent of whether the profiler is recording.
+var buildProfiles = func(ctx context.Context, kernel string, streams []*workload.Stream, stage trace.Stage, cfg cpu.CacheConfig) ([][]*trace.Profile, error) {
+	return trace.BuildProfilesScopedCtx(ctx, kernel, streams, stage, cfg, 0)
+}
 
 // canceled reports whether err came from context cancellation; such
 // errors must not poison singleflight caches, since a later (uncancelled)
@@ -163,7 +167,7 @@ func (b *Bench) ProfilesCtx(ctx context.Context, stage trace.Stage) ([][]*trace.
 	classifyLookup("exp.profiles", ok, e.done.Load())
 	e.once.Do(func() {
 		sp := obs.StartSpan("exp.profiles.build:" + b.Name + ":" + stage.String())
-		e.p, e.err = buildProfiles(ctx, b.Streams, stage, b.Opts.Cache)
+		e.p, e.err = buildProfiles(ctx, b.Name, b.Streams, stage, b.Opts.Cache)
 		sp.End()
 		e.done.Store(true)
 	})

@@ -18,7 +18,8 @@
 //
 //	spec    := "off" | class[=rate] ("," class[=rate])*
 //	class   := sample-noise | sample-drop | sample-nan |
-//	           replay-perturb | task-panic | task-stall
+//	           replay-perturb | task-panic | task-stall |
+//	           ckpt-write-fail | ledger-spill-torn
 //	rate    := float in (0, 1]   (default per class, see DefaultRate)
 //
 // e.g. `-chaos sample-noise,task-panic` or `-chaos sample-nan=0.5`.
@@ -56,11 +57,22 @@ const (
 	// TaskStall sleeps a worker-pool task at start for StallDuration,
 	// exercising the pool's stall watchdog.
 	TaskStall = "task-stall"
+	// CkptWriteFail fails a checkpoint save after the .tmp file is
+	// written but before the atomic rename — the disk-full / yanked-volume
+	// case the tmp-then-rename protocol exists for. The run must continue
+	// (the checkpoint is just lost) and the stray .tmp must be ignored by
+	// validation and resume.
+	CkptWriteFail = "ckpt-write-fail"
+	// LedgerSpillTorn truncates a telemetry ledger spill line mid-record
+	// (torn write: the process or disk died between write and flush). The
+	// spill-merge path must skip the torn record, count it, and keep every
+	// intact one.
+	LedgerSpillTorn = "ledger-spill-torn"
 )
 
 // Classes lists every fault class, in spec order.
 func Classes() []string {
-	return []string{SampleNoise, SampleDrop, SampleNaN, ReplayPerturb, TaskPanic, TaskStall}
+	return []string{SampleNoise, SampleDrop, SampleNaN, ReplayPerturb, TaskPanic, TaskStall, CkptWriteFail, LedgerSpillTorn}
 }
 
 // DefaultRate is the per-hook injection probability used when the spec
@@ -279,6 +291,61 @@ func ReplayErrors(errors, instrs int, tclkBits uint64) int {
 		return instrs
 	}
 	return errors + extra
+}
+
+// strHash folds a string into one uint64 hook argument (FNV-1a), so
+// content-keyed hooks stay pure functions of their inputs.
+func strHash(s string) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for i := 0; i < len(s); i++ {
+		h = (h ^ uint64(s[i])) * 0x100000001b3
+	}
+	return h
+}
+
+// bytesHash is strHash over a byte slice.
+func bytesHash(b []byte) uint64 {
+	h := uint64(0xcbf29ce484222325)
+	for _, c := range b {
+		h = (h ^ uint64(c)) * 0x100000001b3
+	}
+	return h
+}
+
+// CkptSaveFail decides whether the checkpoint save for an experiment
+// should fail with an injected I/O error (ckpt-write-fail). Keyed on the
+// experiment name only, so the same experiments lose their checkpoints
+// at any -j and on a resumed run.
+func CkptSaveFail(experiment string) bool {
+	if !enabled.Load() {
+		return false
+	}
+	c := current.Load()
+	if c == nil {
+		return false
+	}
+	on, _ := c.fire(CkptWriteFail, strHash(experiment))
+	return on
+}
+
+// SpillTear decides how many bytes of one ledger spill line reach the
+// disk (ledger-spill-torn). It returns len(line) when the class is
+// inactive or this line is spared; a torn line keeps a strict prefix
+// (possibly zero bytes). Keyed on the line content, never on write
+// order.
+func SpillTear(line []byte) int {
+	if !enabled.Load() {
+		return len(line)
+	}
+	c := current.Load()
+	if c == nil {
+		return len(line)
+	}
+	on, shape := c.fire(LedgerSpillTorn, bytesHash(line))
+	if !on {
+		return len(line)
+	}
+	return int(unit(shape) * float64(len(line)))
 }
 
 // InjectedPanic is the value an injected task panic carries; the pool

@@ -1,6 +1,7 @@
 package faults
 
 import (
+	"fmt"
 	"math"
 	"strings"
 	"testing"
@@ -205,5 +206,72 @@ func TestDisabledEstimateZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("disabled hooks allocate %v per run, want 0", allocs)
+	}
+}
+
+// ckpt-write-fail decisions are pure functions of the experiment name:
+// stable across repeated calls, with both outcomes represented at an
+// intermediate rate.
+func TestCkptSaveFailDeterministicByName(t *testing.T) {
+	if err := Enable(CkptWriteFail+"=0.5", 11); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	first := map[string]bool{}
+	fired := 0
+	for i := 0; i < 40; i++ {
+		name := fmt.Sprintf("exp%d", i)
+		first[name] = CkptSaveFail(name)
+		if first[name] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == 40 {
+		t.Fatalf("rate 0.5 fired on %d/40 names; decisions are not spread", fired)
+	}
+	for name, want := range first {
+		if CkptSaveFail(name) != want {
+			t.Fatalf("decision for %q changed between calls", name)
+		}
+	}
+}
+
+// ledger-spill-torn keeps a strict prefix of a torn line, decides per
+// line content (never per call), and spares some lines at rate 0.5.
+func TestSpillTearStrictPrefixAndDeterminism(t *testing.T) {
+	if err := Enable(LedgerSpillTorn+"=0.5", 11); err != nil {
+		t.Fatal(err)
+	}
+	defer Disable()
+	torn, intact := 0, 0
+	for i := 0; i < 40; i++ {
+		line := []byte(fmt.Sprintf(`{"kind":"decision","interval":%d}`, i))
+		keep := SpillTear(line)
+		if keep < 0 || keep > len(line) {
+			t.Fatalf("SpillTear kept %d of %d bytes", keep, len(line))
+		}
+		if again := SpillTear(line); again != keep {
+			t.Fatalf("SpillTear(%q) changed between calls: %d then %d", line, keep, again)
+		}
+		if keep < len(line) {
+			torn++
+		} else {
+			intact++
+		}
+	}
+	if torn == 0 || intact == 0 {
+		t.Fatalf("rate 0.5 tore %d/40 lines; decisions are not spread", torn)
+	}
+}
+
+// The I/O fault hooks must be strict no-ops while injection is disabled.
+func TestIOFaultHooksDisabledIdentity(t *testing.T) {
+	Disable()
+	if CkptSaveFail("table5.1") {
+		t.Error("CkptSaveFail fired while disabled")
+	}
+	line := []byte(`{"kind":"replay"}`)
+	if got := SpillTear(line); got != len(line) {
+		t.Errorf("SpillTear returned %d of %d bytes while disabled", got, len(line))
 	}
 }

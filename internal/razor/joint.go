@@ -3,6 +3,8 @@ package razor
 import (
 	"fmt"
 
+	"synts/internal/isa"
+	"synts/internal/simprof"
 	"synts/internal/trace"
 )
 
@@ -37,6 +39,17 @@ func (r JointResult) ErrorRate() float64 {
 // window at TSR r. All profiles must describe the same window (equal N, in
 // program order); each stage uses its own TCrit.
 func JointReplay(profiles []*trace.Profile, r float64) (JointResult, error) {
+	return JointReplayScoped("", nil, profiles, r)
+}
+
+// JointReplayScoped is JointReplay with simprof attribution: per-stage,
+// per-opcode shadow-latch flag counts land under phase "joint" for the
+// given kernel (stageNames aligned with profiles). Cycles and energy are
+// zero — the joint study counts flags, it does not model recovery — so
+// these buckets appear in the pprof replay_errors view but are dropped
+// from the cycle-weighted folded output. With kernel == "", a nil
+// stageNames or the profiler disabled, it is exactly JointReplay.
+func JointReplayScoped(kernel string, stageNames []string, profiles []*trace.Profile, r float64) (JointResult, error) {
 	if len(profiles) == 0 {
 		return JointResult{}, fmt.Errorf("razor: no stage profiles")
 	}
@@ -46,6 +59,17 @@ func JointReplay(profiles []*trace.Profile, r float64) (JointResult, error) {
 			return JointResult{}, fmt.Errorf("razor: stage windows differ in length: %d vs %d", len(p.Delays), n)
 		}
 	}
+	attr := kernel != "" && simprof.Enabled() && len(stageNames) == len(profiles)
+	for _, p := range profiles {
+		if len(p.Ops) != n {
+			attr = false
+		}
+	}
+	var flags, instrs [][isa.NumOps]int64
+	if attr {
+		flags = make([][isa.NumOps]int64, len(profiles))
+		instrs = make([][isa.NumOps]int64, len(profiles))
+	}
 	res := JointResult{Instructions: n, StageErrors: make([]int, len(profiles))}
 	for i := 0; i < n; i++ {
 		flagged := false
@@ -53,10 +77,29 @@ func JointReplay(profiles []*trace.Profile, r float64) (JointResult, error) {
 			if p.Delays[i] > r*p.TCrit {
 				res.StageErrors[s]++
 				flagged = true
+				if attr {
+					flags[s][p.Ops[i]]++
+				}
+			}
+			if attr {
+				instrs[s][p.Ops[i]]++
 			}
 		}
 		if flagged {
 			res.Errors++
+		}
+	}
+	if attr {
+		for s, p := range profiles {
+			for op := 0; op < isa.NumOps; op++ {
+				if flags[s][op] == 0 {
+					continue
+				}
+				simprof.Record(
+					simprof.Key{Kernel: kernel, Core: p.Thread, Interval: p.Interval, Phase: simprof.PhaseJoint, Op: isa.Op(op).String(), Stage: stageNames[s]},
+					simprof.Values{Errors: flags[s][op], Instrs: instrs[s][op]},
+				)
+			}
 		}
 	}
 	// Independence prediction from the same window's marginals.

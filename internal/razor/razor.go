@@ -20,6 +20,8 @@ import (
 
 	"synts/internal/core"
 	"synts/internal/faults"
+	"synts/internal/isa"
+	"synts/internal/simprof"
 	"synts/internal/telemetry"
 	"synts/internal/trace"
 )
@@ -45,26 +47,96 @@ func (r Result) ErrorRate() float64 {
 // issues in one cycle; an instruction whose stage output settles after the
 // clock edge is caught by the shadow latch and costs cPenalty extra cycles.
 func Replay(delays []float64, tclk float64, cPenalty float64) Result {
+	return replayAttr(delays, nil, tclk, cPenalty, nil)
+}
+
+// opAccum collects one replay site's per-opcode attribution before it is
+// flushed to simprof in a handful of Record calls — the hot loop never
+// touches the profiler's lock. A nil *opAccum disables attribution; the
+// Result is identical either way because Replay and every scoped variant
+// share this one loop.
+type opAccum struct {
+	cycles [isa.NumOps]float64
+	errors [isa.NumOps]int64
+	instrs [isa.NumOps]int64
+	// Errors injected by the chaos harness have no single opcode; they
+	// land under the synthetic "(chaos)" frame.
+	chaosErr int64
+	chaosCyc float64
+}
+
+// replayAttr is the one Razor replay loop. ops (aligned with delays) is
+// consulted only when acc is non-nil.
+func replayAttr(delays []float64, ops []isa.Op, tclk float64, cPenalty float64, acc *opAccum) Result {
 	if tclk <= 0 {
 		panic(fmt.Sprintf("razor: non-positive clock period %v", tclk))
 	}
+	if acc != nil && len(ops) != len(delays) {
+		panic(fmt.Sprintf("razor: %d ops for %d delays", len(ops), len(delays)))
+	}
 	res := Result{Instructions: len(delays)}
-	for _, d := range delays {
+	for i, d := range delays {
 		res.Cycles++
-		if d > tclk {
+		erred := d > tclk
+		if erred {
 			res.Errors++
 			res.Cycles += cPenalty
+		}
+		if acc != nil {
+			op := ops[i]
+			acc.instrs[op]++
+			if erred {
+				acc.errors[op]++
+				acc.cycles[op] += 1 + cPenalty
+			} else {
+				acc.cycles[op]++
+			}
 		}
 	}
 	if faults.Enabled() {
 		// Chaos harness: a flaky shadow-latch comparator over-reports
 		// errors; the extra replays cost their recovery cycles too.
 		if e := faults.ReplayErrors(res.Errors, res.Instructions, math.Float64bits(tclk)); e != res.Errors {
-			res.Cycles += float64(e-res.Errors) * cPenalty
+			extra := e - res.Errors
+			res.Cycles += float64(extra) * cPenalty
 			res.Errors = e
+			if acc != nil {
+				acc.chaosErr += int64(extra)
+				acc.chaosCyc += float64(extra) * cPenalty
+			}
 		}
 	}
 	return res
+}
+
+// flush records the accumulated attribution under one (kernel, core,
+// interval, stage, phase) scope, one bucket per opcode seen. Cycle
+// energy uses the per-replay-cycle constant (V = V_nom).
+func (a *opAccum) flush(kernel, stage, phase string, coreID, interval int) {
+	for op := 0; op < isa.NumOps; op++ {
+		if a.instrs[op] == 0 {
+			continue
+		}
+		simprof.Record(
+			simprof.Key{Kernel: kernel, Core: coreID, Interval: interval, Phase: phase, Op: isa.Op(op).String(), Stage: stage},
+			simprof.Values{
+				Cycles: a.cycles[op],
+				Errors: a.errors[op],
+				Energy: a.cycles[op] * simprof.EnergyPerReplayCyclePJ,
+				Instrs: a.instrs[op],
+			},
+		)
+	}
+	if a.chaosErr > 0 {
+		simprof.Record(
+			simprof.Key{Kernel: kernel, Core: coreID, Interval: interval, Phase: phase, Op: simprof.OpChaos, Stage: stage},
+			simprof.Values{
+				Cycles: a.chaosCyc,
+				Errors: a.chaosErr,
+				Energy: a.chaosCyc * simprof.EnergyPerReplayCyclePJ,
+			},
+		)
+	}
 }
 
 // ReplayProfile replays one thread's whole interval at TSR r and returns
@@ -84,8 +156,31 @@ func ReplayProfile(p *trace.Profile, r float64, cPenalty float64) (Result, float
 // observed error count, cycle cost and Eq. 4.1 analytic cycles are
 // recorded as one replay event. Unscoped callers (ablations, tests) use
 // ReplayProfile and stay ledger-silent.
+// When the simprof profiler is enabled (and the scope non-zero), the
+// same replay also attributes per-opcode cycles and errors under phase
+// "replay", with the CPI-base stall cycles under the synthetic
+// "(stall)" frame — so the profiler's per-(kernel, stage) replay totals
+// reconcile exactly with the ledger's replay events (obscheck -simprof
+// cross-checks this).
 func ReplayProfileScoped(sc telemetry.Scope, solver string, p *trace.Profile, r float64, cPenalty float64) (Result, float64) {
-	res, analytic := ReplayProfile(p, r, cPenalty)
+	var acc *opAccum
+	if simprof.Enabled() && !sc.Zero() && len(p.Ops) == len(p.Delays) {
+		acc = &opAccum{}
+	}
+	res := replayAttr(p.Delays, p.Ops, r*p.TCrit, cPenalty, acc)
+	// Memory-stall cycles from the cache model apply identically in both.
+	stall := (p.CPIBase - 1) * float64(p.N)
+	res.Cycles += stall
+	analytic := float64(p.N) * (p.Err(r)*cPenalty + p.CPIBase)
+	if acc != nil {
+		acc.flush(sc.Bench, sc.Stage, simprof.PhaseReplay, p.Thread, p.Interval)
+		if stall != 0 {
+			simprof.Record(
+				simprof.Key{Kernel: sc.Bench, Core: p.Thread, Interval: p.Interval, Phase: simprof.PhaseReplay, Op: simprof.OpStall, Stage: sc.Stage},
+				simprof.Values{Cycles: stall, Energy: stall * simprof.EnergyPerStallCyclePJ},
+			)
+		}
+	}
 	if telemetry.Enabled() && !sc.Zero() {
 		telemetry.Record(telemetry.Event{
 			Kind:           telemetry.KindReplay,
@@ -157,9 +252,10 @@ func SamplingEstimatorBudgets(profiles []*trace.Profile, tsrs []float64, budgets
 // instructions sampled at the level and the cycle cost of sampling them —
 // the raw material of the §6.3 overhead fraction and the Fig 6.17
 // divergence analysis. The returned estimator is identical to the
-// unscoped one.
+// unscoped one. When the simprof profiler is enabled, the sampling
+// replays are additionally attributed per opcode under phase "sampling".
 func SamplingEstimatorScoped(sc telemetry.Scope, profiles []*trace.Profile, tsrs []float64, budgets []int, cPenalty float64, granule int) core.ErrEstimator {
-	stats := samplingStats(profiles, tsrs, budgets, cPenalty, granule)
+	stats := samplingStatsScoped(sc, profiles, tsrs, budgets, cPenalty, granule)
 	if telemetry.Enabled() && !sc.Zero() {
 		for i, p := range profiles {
 			st := stats[i]
@@ -201,6 +297,13 @@ type threadSampling struct {
 // returns the per-thread, per-level measurements shared by the estimator
 // constructors.
 func samplingStats(profiles []*trace.Profile, tsrs []float64, budgets []int, cPenalty float64, granule int) []threadSampling {
+	return samplingStatsScoped(telemetry.Scope{}, profiles, tsrs, budgets, cPenalty, granule)
+}
+
+// samplingStatsScoped is samplingStats with optional simprof attribution
+// (phase "sampling", all TSR levels merged per opcode). The returned
+// measurements never depend on whether attribution ran.
+func samplingStatsScoped(sc telemetry.Scope, profiles []*trace.Profile, tsrs []float64, budgets []int, cPenalty float64, granule int) []threadSampling {
 	if len(budgets) != len(profiles) {
 		panic(fmt.Sprintf("razor: %d budgets for %d profiles", len(budgets), len(profiles)))
 	}
@@ -227,6 +330,10 @@ func samplingStats(profiles []*trace.Profile, tsrs []float64, budgets []int, cPe
 		if n > len(p.Delays) {
 			n = len(p.Delays)
 		}
+		var acc *opAccum
+		if simprof.Enabled() && !sc.Zero() && len(p.Ops) == len(p.Delays) {
+			acc = &opAccum{}
+		}
 		for g := 0; g*granule < n; g++ {
 			k := g % s
 			lo := g * granule
@@ -234,10 +341,17 @@ func samplingStats(profiles []*trace.Profile, tsrs []float64, budgets []int, cPe
 			if hi > n {
 				hi = n
 			}
-			res := Replay(p.Delays[lo:hi], tsrs[k]*p.TCrit, cPenalty)
+			var ops []isa.Op
+			if acc != nil {
+				ops = p.Ops[lo:hi]
+			}
+			res := replayAttr(p.Delays[lo:hi], ops, tsrs[k]*p.TCrit, cPenalty, acc)
 			st.Errs[k] += res.Errors
 			st.Counts[k] += res.Instructions
 			st.Cycles[k] += res.Cycles
+		}
+		if acc != nil {
+			acc.flush(sc.Bench, sc.Stage, simprof.PhaseSampling, p.Thread, p.Interval)
 		}
 		for k := 0; k < s; k++ {
 			if st.Counts[k] > 0 {

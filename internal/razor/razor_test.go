@@ -7,6 +7,8 @@ import (
 	"testing"
 
 	"synts/internal/cpu"
+	"synts/internal/simprof"
+	"synts/internal/telemetry"
 	"synts/internal/trace"
 	"synts/internal/workload"
 )
@@ -190,5 +192,72 @@ func TestErrorRateNaNFree(t *testing.T) {
 				t.Fatalf("ErrorRate() = %v, want %v", tc.rate, tc.want)
 			}
 		})
+	}
+}
+
+// The reconciliation invariant behind `obscheck -simprof`: with the
+// profiler and ledger both recording, a scoped replay's per-op
+// attribution must sum exactly to the replay event it emits — errors
+// exactly, cycles (per-op latch cycles + replay penalties + the "(stall)"
+// frame) exactly — and the Result must be bit-identical to the
+// profiler-off replay.
+func TestReplayProfileScopedSimprofReconciles(t *testing.T) {
+	k, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 2, 1, 2016)
+	profs, err := trace.BuildProfiles(streams, trace.SimpleALU, cpu.DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := profs[0][0]
+	const r, cPenalty = 0.55, 5.0
+	sc := telemetry.Scope{Bench: "radix", Stage: "SimpleALU"}
+
+	simprof.Disable()
+	telemetry.Disable()
+	refRes, refAn := ReplayProfile(p, r, cPenalty)
+
+	simprof.Enable()
+	defer simprof.Disable()
+	telemetry.Enable()
+	defer telemetry.Disable()
+	res, an := ReplayProfileScoped(sc, "SynTS", p, r, cPenalty)
+	if res != refRes || an != refAn {
+		t.Fatalf("attribution perturbed the replay: %+v / %v, want %+v / %v", res, an, refRes, refAn)
+	}
+	if res.Errors == 0 {
+		t.Fatal("fixture replay produced no errors; pick a more aggressive r")
+	}
+
+	var errSum int64
+	var cycSum float64
+	for _, e := range simprof.Snapshot() {
+		if e.Kernel != "radix" || e.Phase != simprof.PhaseReplay {
+			t.Fatalf("unexpected attribution entry %+v", e)
+		}
+		if e.Core != p.Thread || e.Interval != p.Interval || e.Stage != "SimpleALU" {
+			t.Fatalf("entry attributed to wrong coordinates: %+v", e)
+		}
+		errSum += e.Errors
+		cycSum += e.Cycles
+	}
+	if errSum != int64(res.Errors) {
+		t.Errorf("profiler errors = %d, replay errors = %d", errSum, res.Errors)
+	}
+	if math.Abs(cycSum-res.Cycles) > 1e-9*math.Abs(res.Cycles) {
+		t.Errorf("profiler cycles = %v, replay cycles = %v", cycSum, res.Cycles)
+	}
+
+	evs := telemetry.Events()
+	if len(evs) != 1 || evs[0].Kind != telemetry.KindReplay {
+		t.Fatalf("expected exactly one replay event, got %+v", evs)
+	}
+	if got := int64(evs[0].Replays); got != errSum {
+		t.Errorf("ledger replays = %d, profiler errors = %d", got, errSum)
+	}
+	if math.Abs(evs[0].Cycles-cycSum) > 1e-9*math.Abs(cycSum) {
+		t.Errorf("ledger cycles = %v, profiler cycles = %v", evs[0].Cycles, cycSum)
 	}
 }

@@ -1,0 +1,38 @@
+package simprof
+
+// Folded-stack export for flamegraph tooling (flamegraph.pl, speedscope,
+// inferno): one line per bucket, semicolon-joined root-first stack then
+// a space and the sim_cycles value. Lines are emitted in the canonical
+// Snapshot order and the cycle sums are schedule-independent, so the
+// output is byte-identical across -j 1 / -j 4 (golden-tested, like the
+// telemetry ledger).
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WriteFolded writes the current Snapshot as folded stacks carrying the
+// sim_cycles metric. Buckets whose cycle count rounds to zero (e.g.
+// joint-study error flags) are dropped — folded format has no use for
+// zero-weight stacks.
+func WriteFolded(w io.Writer) error {
+	return writeFoldedEntries(w, Snapshot())
+}
+
+func writeFoldedEntries(w io.Writer, entries []Entry) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range entries {
+		v := int64(math.Round(e.Cycles))
+		if v <= 0 {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "%s;%s;%s;%s;%s %d\n",
+			e.Kernel, coreFrame(e.Core, e.Interval), e.Phase, e.Op, e.Stage, v); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

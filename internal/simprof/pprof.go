@@ -1,0 +1,234 @@
+package simprof
+
+// Hand-encoded pprof profile.proto writer. The pprof wire format is
+// plain proto3: varints, length-delimited submessages, and a string
+// table where index 0 is "". Encoding it by hand (~200 lines) keeps the
+// repo stdlib-only while producing artifacts `go tool pprof` and
+// speedscope open directly.
+//
+// Each Snapshot entry becomes one Sample with the synthetic stack
+// kernel → c<core>.iv<interval> → phase → op → stage (leaf first on the
+// wire, as pprof requires), three values (sim_cycles, replay_errors,
+// energy_pj rounded to int64), and numeric labels core=/interval= so
+// tooling can slice without parsing frame names.
+
+import (
+	"compress/gzip"
+	"io"
+	"math"
+)
+
+// profile.proto field numbers (message Profile and friends).
+const (
+	fProfileSampleType        = 1
+	fProfileSample            = 2
+	fProfileLocation          = 4
+	fProfileFunction          = 5
+	fProfileStringTable       = 6
+	fProfileComment           = 13
+	fProfileDefaultSampleType = 14
+
+	fValueTypeType = 1
+	fValueTypeUnit = 2
+
+	fSampleLocationID = 1
+	fSampleValue      = 2
+	fSampleLabel      = 3
+
+	fLabelKey = 1
+	fLabelNum = 3
+
+	fLocationID   = 1
+	fLocationLine = 4
+
+	fLineFunctionID = 1
+
+	fFunctionID         = 1
+	fFunctionName       = 2
+	fFunctionSystemName = 3
+)
+
+// Protobuf wire types.
+const (
+	wireVarint = 0
+	wireBytes  = 2
+)
+
+type protoBuf struct{ b []byte }
+
+func (p *protoBuf) uvarint(v uint64) {
+	for v >= 0x80 {
+		p.b = append(p.b, byte(v)|0x80)
+		v >>= 7
+	}
+	p.b = append(p.b, byte(v))
+}
+
+func (p *protoBuf) tag(field, wire int) { p.uvarint(uint64(field)<<3 | uint64(wire)) }
+
+// varintField emits a singular varint field (skipping proto3 zero values
+// where the caller allows it by not calling this).
+func (p *protoBuf) varintField(field int, v uint64) {
+	p.tag(field, wireVarint)
+	p.uvarint(v)
+}
+
+// bytesField emits a length-delimited field (submessage or string).
+func (p *protoBuf) bytesField(field int, b []byte) {
+	p.tag(field, wireBytes)
+	p.uvarint(uint64(len(b)))
+	p.b = append(p.b, b...)
+}
+
+// packedField emits a packed repeated varint field.
+func (p *protoBuf) packedField(field int, vals []uint64) {
+	if len(vals) == 0 {
+		return
+	}
+	var inner protoBuf
+	for _, v := range vals {
+		inner.uvarint(v)
+	}
+	p.bytesField(field, inner.b)
+}
+
+// builder interns strings and frame functions/locations while samples
+// are encoded, so the final assembly can emit them in one pass.
+type pprofBuilder struct {
+	strIdx map[string]int64
+	strTab []string
+	locIdx map[string]uint64 // frame name -> location id (== function id)
+	locTab []string          // frame names, id = index+1
+}
+
+func newPprofBuilder() *pprofBuilder {
+	b := &pprofBuilder{strIdx: map[string]int64{}, locIdx: map[string]uint64{}}
+	b.str("") // string table index 0 must be the empty string
+	return b
+}
+
+func (b *pprofBuilder) str(s string) int64 {
+	if i, ok := b.strIdx[s]; ok {
+		return i
+	}
+	i := int64(len(b.strTab))
+	b.strIdx[s] = i
+	b.strTab = append(b.strTab, s)
+	return i
+}
+
+// loc returns the location id for a stack frame name, creating the
+// function/location pair on first use. Function and location ids are
+// kept identical (1-based) — one synthetic line per location.
+func (b *pprofBuilder) loc(frame string) uint64 {
+	if id, ok := b.locIdx[frame]; ok {
+		return id
+	}
+	b.str(frame)
+	id := uint64(len(b.locTab)) + 1
+	b.locIdx[frame] = id
+	b.locTab = append(b.locTab, frame)
+	return id
+}
+
+// sampleTypes defines the profile's three value columns, in order.
+var sampleTypes = [3][2]string{
+	{"sim_cycles", "cycles"},
+	{"replay_errors", "errors"},
+	{"energy_pj", "picojoules"},
+}
+
+// profileComment is embedded in the artifact so a stray file
+// self-identifies.
+const profileComment = "synts simprof: simulated-machine attribution profile (kernel;core.iv;phase;op;stage)"
+
+// EncodeProfile serialises entries (normally a Snapshot) as an
+// uncompressed pprof profile.proto message. The byte output is a pure
+// function of the entries.
+func EncodeProfile(entries []Entry) []byte {
+	b := newPprofBuilder()
+	var out protoBuf
+
+	// sample_type, in field order ahead of samples.
+	for _, st := range sampleTypes {
+		var vt protoBuf
+		vt.varintField(fValueTypeType, uint64(b.str(st[0])))
+		vt.varintField(fValueTypeUnit, uint64(b.str(st[1])))
+		out.bytesField(fProfileSampleType, vt.b)
+	}
+
+	coreKey := b.str("core")
+	intervalKey := b.str("interval")
+
+	for _, e := range entries {
+		// Leaf-first stack: stage, op, phase, c<core>.iv<iv>, kernel.
+		locs := []uint64{
+			b.loc(e.Stage),
+			b.loc(e.Op),
+			b.loc(e.Phase),
+			b.loc(coreFrame(e.Core, e.Interval)),
+			b.loc(e.Kernel),
+		}
+		var s protoBuf
+		s.packedField(fSampleLocationID, locs)
+		s.packedField(fSampleValue, []uint64{
+			uint64(int64(math.Round(e.Cycles))),
+			uint64(e.Errors),
+			uint64(int64(math.Round(e.Energy))),
+		})
+		for _, lab := range [2]struct {
+			key int64
+			num int64
+		}{{coreKey, int64(e.Core)}, {intervalKey, int64(e.Interval)}} {
+			var l protoBuf
+			l.varintField(fLabelKey, uint64(lab.key))
+			if lab.num != 0 {
+				l.varintField(fLabelNum, uint64(lab.num))
+			}
+			s.bytesField(fSampleLabel, l.b)
+		}
+		out.bytesField(fProfileSample, s.b)
+	}
+
+	for i, frame := range b.locTab {
+		id := uint64(i) + 1
+		var line protoBuf
+		line.varintField(fLineFunctionID, id)
+		var loc protoBuf
+		loc.varintField(fLocationID, id)
+		loc.bytesField(fLocationLine, line.b)
+		out.bytesField(fProfileLocation, loc.b)
+
+		nameIdx := uint64(b.str(frame))
+		var fn protoBuf
+		fn.varintField(fFunctionID, id)
+		fn.varintField(fFunctionName, nameIdx)
+		fn.varintField(fFunctionSystemName, nameIdx)
+		out.bytesField(fProfileFunction, fn.b)
+	}
+
+	comment := b.str(profileComment)
+	defType := b.str(sampleTypes[0][0])
+	for _, s := range b.strTab {
+		out.bytesField(fProfileStringTable, []byte(s))
+	}
+	out.varintField(fProfileComment, uint64(comment))
+	out.varintField(fProfileDefaultSampleType, uint64(defType))
+	return out.b
+}
+
+// WriteProfile gzips the current Snapshot's profile.proto encoding to w
+// — the conventional on-disk form (`go tool pprof` accepts either, and
+// Parse sniffs the gzip magic).
+func WriteProfile(w io.Writer) error {
+	return writeProfileEntries(w, Snapshot())
+}
+
+func writeProfileEntries(w io.Writer, entries []Entry) error {
+	zw := gzip.NewWriter(w)
+	if _, err := zw.Write(EncodeProfile(entries)); err != nil {
+		zw.Close()
+		return err
+	}
+	return zw.Close()
+}

@@ -26,6 +26,8 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+
+	"synts/internal/faults"
 )
 
 // SchemaVersion identifies the ledger layout; the first JSONL line is a
@@ -124,7 +126,9 @@ type Ledger struct {
 	events   []Event
 	dropped  int64
 	spilled  int64
-	capacity int // in-memory cap; 0 means maxEvents (tests shrink it)
+	torn     int64 // spill lines truncated by the chaos harness at write time
+	skipped  int64 // spill lines the merge could not parse (torn/corrupt)
+	capacity int   // in-memory cap; 0 means maxEvents (tests shrink it)
 
 	spillPath string
 	spillF    *os.File
@@ -210,6 +214,15 @@ func (l *Ledger) Record(e Event) {
 		l.events = append(l.events, e)
 	case l.spillW != nil:
 		if b, err := json.Marshal(&e); err == nil {
+			if faults.Enabled() {
+				// Chaos harness: a torn spill write loses the record's
+				// tail. The line is still terminated so subsequent
+				// records stay intact — only this one is damaged.
+				if keep := faults.SpillTear(b); keep < len(b) {
+					b = b[:keep]
+					l.torn++
+				}
+			}
 			l.spillW.Write(b)
 			l.spillW.WriteByte('\n')
 			l.spilled++
@@ -228,6 +241,8 @@ func (l *Ledger) Reset() {
 	l.events = nil
 	l.dropped = 0
 	l.spilled = 0
+	l.torn = 0
+	l.skipped = 0
 	l.closeSpillLocked()
 	l.mu.Unlock()
 }
@@ -252,6 +267,22 @@ func (l *Ledger) Spilled() int64 {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return l.spilled
+}
+
+// Torn returns how many spill lines the chaos harness truncated at
+// write time (ledger-spill-torn injections).
+func (l *Ledger) Torn() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.torn
+}
+
+// SpillSkipped returns how many spill lines the merge (AllEvents) could
+// not parse and skipped — torn or corrupt records.
+func (l *Ledger) SpillSkipped() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.skipped
 }
 
 // AllEvents returns the in-memory events plus any spilled ones. The
@@ -282,7 +313,11 @@ func (l *Ledger) AllEvents() ([]Event, error) {
 		}
 		var e Event
 		if err := json.Unmarshal(line, &e); err != nil {
-			return nil, fmt.Errorf("telemetry: spill file %s: %w", l.spillPath, err)
+			// A torn or corrupt spill record (crash or chaos mid-write)
+			// must not lose the intact remainder of the ledger: skip it,
+			// count it, keep merging. SpillSkipped surfaces the count.
+			l.skipped++
+			continue
 		}
 		out = append(out, e)
 	}
@@ -300,6 +335,23 @@ func Dropped() int64 { return defaultLedger.Dropped() }
 
 // Spilled returns the default ledger's spilled-event count.
 func Spilled() int64 { return defaultLedger.Spilled() }
+
+// Torn returns the default ledger's torn-spill-line count.
+func Torn() int64 { return defaultLedger.Torn() }
+
+// SpillSkipped returns the default ledger's count of unparseable spill
+// lines skipped during merge.
+func SpillSkipped() int64 { return defaultLedger.SpillSkipped() }
+
+// SetMemCap shrinks the default ledger's in-memory cap to n events (0
+// restores the maxEvents default). A testing and chaos-engineering aid:
+// the spill and torn-spill paths are unreachable in small runs at the
+// default 2^21 cap, so CI lowers it to force them.
+func SetMemCap(n int) {
+	defaultLedger.mu.Lock()
+	defaultLedger.capacity = n
+	defaultLedger.mu.Unlock()
+}
 
 // Len returns the default ledger's event count (cheap, for live gauges).
 func Len() int {

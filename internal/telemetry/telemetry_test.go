@@ -9,6 +9,8 @@ import (
 	"strings"
 	"sync"
 	"testing"
+
+	"synts/internal/faults"
 )
 
 // sampleEvents builds a mixed-kind event set spread over two benches, two
@@ -350,5 +352,74 @@ func TestLedgerResetRemovesSpillFile(t *testing.T) {
 	}
 	if l.Spilled() != 0 {
 		t.Error("Reset did not clear the spilled count")
+	}
+}
+
+// Under ledger-spill-torn chaos, truncated spill lines are counted at
+// write time, skipped (not fatal) at merge time, and every intact line
+// survives — the union stays serialisable.
+func TestLedgerSpillTornLinesSkippedInMerge(t *testing.T) {
+	if err := faults.Enable(faults.LedgerSpillTorn+"=0.5", 3); err != nil {
+		t.Fatal(err)
+	}
+	defer faults.Disable()
+	l := Ledger{capacity: 2}
+	if err := l.SetSpill(filepath.Join(t.TempDir(), "spill.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	const total = 10
+	for i := 0; i < total; i++ {
+		l.Record(Event{Kind: KindDecision, Bench: "b", Stage: "s", Interval: i})
+	}
+	torn := l.Torn()
+	if torn == 0 || torn == total-2 {
+		t.Fatalf("rate 0.5 tore %d/%d spill lines; pick a seed that spreads decisions", torn, total-2)
+	}
+	all, err := l.AllEvents()
+	if err != nil {
+		t.Fatalf("merge failed over torn lines: %v", err)
+	}
+	// A torn line keeps a strict prefix, so it can never parse as a full
+	// event: exactly the torn records are lost.
+	if want := total - int(torn); len(all) != want {
+		t.Fatalf("AllEvents returned %d events, want %d (%d torn)", len(all), want, torn)
+	}
+	if skipped := l.SpillSkipped(); skipped > torn {
+		t.Errorf("SpillSkipped() = %d > torn %d", skipped, torn)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, all); err != nil {
+		t.Fatalf("surviving events do not serialise: %v", err)
+	}
+}
+
+// SetMemCap lowers the default ledger's in-memory cap so small runs can
+// reach the spill path; 0 restores the default.
+func TestSetMemCapForcesSpill(t *testing.T) {
+	Enable()
+	defer Disable()
+	defer SetMemCap(0)
+	SetMemCap(2)
+	if err := SetSpill(filepath.Join(t.TempDir(), "spill.jsonl")); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		Record(Event{Kind: KindDecision, Bench: "b", Stage: "s", Interval: i})
+	}
+	if got := Spilled(); got != 3 {
+		t.Fatalf("Spilled() = %d, want 3 with cap 2 and 5 events", got)
+	}
+	all, err := defaultLedger.AllEvents()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 5 {
+		t.Fatalf("AllEvents returned %d events, want 5", len(all))
+	}
+	SetMemCap(0)
+	Enable() // resets; the default cap is back
+	Record(Event{Kind: KindDecision})
+	if got := Spilled(); got != 0 {
+		t.Fatalf("Spilled() = %d after restoring the default cap", got)
 	}
 }

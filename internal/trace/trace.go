@@ -19,6 +19,7 @@ import (
 	"synts/internal/netlist"
 	"synts/internal/obs"
 	"synts/internal/pool"
+	"synts/internal/simprof"
 	"synts/internal/timing"
 	"synts/internal/workload"
 )
@@ -260,6 +261,11 @@ type Profile struct {
 	// Delays holds each instruction's sensitized delay in program order —
 	// what a Razor pipeline replay (or the online sampling phase) consumes.
 	Delays []float64
+	// Ops holds each instruction's opcode, aligned with Delays, so replay
+	// sites can attribute errors and cycles to the opcode that caused them
+	// (the simprof profiler). Always populated, independent of whether
+	// profiling is enabled, so profiles compare DeepEqual either way.
+	Ops []isa.Op
 	// SortedDelays is the same data ascending, for O(log n) Err lookups.
 	SortedDelays []float64
 }
@@ -322,6 +328,16 @@ func BuildProfilesWorkers(streams []*workload.Stream, stage Stage, cacheCfg cpu.
 // BuildProfilesWorkersCtx is the fully-parameterised profile builder:
 // explicit worker count plus a cancellation context.
 func BuildProfilesWorkersCtx(ctx context.Context, streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig, workers int) ([][]*Profile, error) {
+	return BuildProfilesScopedCtx(ctx, "", streams, stage, cacheCfg, workers)
+}
+
+// BuildProfilesScopedCtx additionally attributes the build's simulated
+// work to the simprof profiler under the given kernel name: per-opcode
+// gate-eval cycles at this stage (phase "issue") and per-opcode cache
+// stall cycles (phase "mem"). With kernel == "" or the profiler
+// disabled, it is exactly BuildProfilesWorkersCtx — attribution never
+// changes the returned profiles (TestProfilesUnchangedBySimprof).
+func BuildProfilesScopedCtx(ctx context.Context, kernel string, streams []*workload.Stream, stage Stage, cacheCfg cpu.CacheConfig, workers int) ([][]*Profile, error) {
 	if len(streams) == 0 {
 		return nil, fmt.Errorf("trace: no streams")
 	}
@@ -342,7 +358,7 @@ func BuildProfilesWorkersCtx(ctx context.Context, streams []*workload.Stream, st
 				return err
 			}
 			for ii, iv := range s.Intervals {
-				res := cpu.MeasureCPI(iv, cache)
+				res := cpu.MeasureCPIScoped(kernel, t, ii, stage.String(), iv, cache)
 				cpis[t][ii] = res.CPI
 				recordCacheCounters(res)
 			}
@@ -360,6 +376,9 @@ func BuildProfilesWorkersCtx(ctx context.Context, streams []*workload.Stream, st
 				dsp := bsp.Child("trace.delay_trace")
 				delays := sc.DelayTrace(iv)
 				dsp.End()
+				if kernel != "" && simprof.Enabled() {
+					recordIssueAttr(kernel, t, ii, sc, iv)
+				}
 				sorted := append([]float64(nil), delays...)
 				sort.Float64s(sorted)
 				out[t][ii] = &Profile{
@@ -368,6 +387,7 @@ func BuildProfilesWorkersCtx(ctx context.Context, streams []*workload.Stream, st
 					N:            len(iv),
 					TCrit:        sc.TCrit,
 					Delays:       delays,
+					Ops:          opsOf(iv),
 					SortedDelays: sorted,
 				}
 				return nil
@@ -383,6 +403,39 @@ func BuildProfilesWorkersCtx(ctx context.Context, streams []*workload.Stream, st
 		}
 	}
 	return out, nil
+}
+
+// opsOf extracts the opcode stream for Profile.Ops.
+func opsOf(iv []isa.Inst) []isa.Op {
+	ops := make([]isa.Op, len(iv))
+	for i, in := range iv {
+		ops[i] = in.Op
+	}
+	return ops
+}
+
+// recordIssueAttr attributes one interval's delay-trace work to simprof:
+// each instruction that drives the stage costs one issue cycle and one
+// levelized pass over the stage's gates (the same accounting as the
+// trace.gate_evals obs counter, but keyed per opcode).
+func recordIssueAttr(kernel string, thread, interval int, sc *StageCircuit, iv []isa.Inst) {
+	var counts [isa.NumOps]int64
+	for _, in := range iv {
+		if sc.Drives(in) {
+			counts[in.Op]++
+		}
+	}
+	gates := float64(len(sc.Netlist.Gates))
+	stage := sc.Stage.String()
+	for op, n := range counts {
+		if n == 0 {
+			continue
+		}
+		simprof.Record(
+			simprof.Key{Kernel: kernel, Core: thread, Interval: interval, Phase: simprof.PhaseIssue, Op: isa.Op(op).String(), Stage: stage},
+			simprof.Values{Cycles: float64(n), Energy: float64(n) * gates * simprof.EnergyPerGateEvalPJ, Instrs: n},
+		)
+	}
 }
 
 // BuildProfilesSerial is the single-goroutine reference implementation:
@@ -415,6 +468,7 @@ func BuildProfilesSerial(streams []*workload.Stream, stage Stage, cacheCfg cpu.C
 				CPIBase:      res.CPI,
 				TCrit:        sc.TCrit,
 				Delays:       delays,
+				Ops:          opsOf(iv),
 				SortedDelays: sorted,
 			}
 		}

@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"context"
 	"math/rand"
 	"reflect"
 	"sort"
@@ -9,6 +10,7 @@ import (
 	"synts/internal/cpu"
 	"synts/internal/isa"
 	"synts/internal/obs"
+	"synts/internal/simprof"
 	"synts/internal/workload"
 )
 
@@ -381,6 +383,50 @@ func TestBuildProfilesUnchangedByInstrumentation(t *testing.T) {
 	}
 	if snap.Spans["trace.cpi_measure:SimpleALU"].Count == 0 {
 		t.Error("CPI spans not recorded")
+	}
+}
+
+// The simprof acceptance invariant: a scoped build with the simulation
+// profiler recording returns profiles DeepEqual to the unscoped,
+// profiler-off reference — attribution observes the pipeline, never
+// perturbs it — and records issue-phase samples for every interval.
+func TestProfilesUnchangedBySimprof(t *testing.T) {
+	k, err := workload.ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 2, 1, 2016)
+	simprof.Disable()
+	ref, err := BuildProfiles(streams, SimpleALU, cpu.DefaultL1())
+	if err != nil {
+		t.Fatal(err)
+	}
+	simprof.Enable()
+	defer simprof.Disable()
+	got, err := BuildProfilesScopedCtx(context.Background(), "ocean", streams, SimpleALU, cpu.DefaultL1(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Fatal("profiles built with simprof recording differ from the profiler-off reference")
+	}
+	entries := simprof.Snapshot()
+	issue := map[[2]int]bool{} // (core, interval) seen under phase issue
+	for _, e := range entries {
+		if e.Kernel != "ocean" || e.Phase != simprof.PhaseIssue {
+			continue
+		}
+		if e.Stage != SimpleALU.String() {
+			t.Fatalf("issue sample under stage %q", e.Stage)
+		}
+		issue[[2]int{e.Core, e.Interval}] = true
+	}
+	for ti, ps := range got {
+		for ii := range ps {
+			if !issue[[2]int{ti, ii}] {
+				t.Errorf("no issue-phase attribution for core %d interval %d", ti, ii)
+			}
+		}
 	}
 }
 
