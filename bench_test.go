@@ -426,6 +426,30 @@ func BenchmarkDelayTraceSimpleALU(b *testing.B) {
 	b.ReportMetric(float64(len(iv)), "instructions")
 }
 
+// The two engines side by side on the same stream; the ratio is the
+// tentpole speedup the README perf table quotes.
+func BenchmarkDelayTraceSimpleALULevelized(b *testing.B) {
+	bd := loadBench(b, "radix")
+	iv := bd.Streams[0].Intervals[0]
+	sc := trace.NewStageCircuit(trace.SimpleALU)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.DelayTraceLevelized(iv)
+	}
+	b.ReportMetric(float64(len(iv)), "instructions")
+}
+
+func BenchmarkDelayTraceSimpleALUEvent(b *testing.B) {
+	bd := loadBench(b, "radix")
+	iv := bd.Streams[0].Intervals[0]
+	sc := trace.NewStageCircuit(trace.SimpleALU)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.DelayTraceEvent(iv)
+	}
+	b.ReportMetric(float64(len(iv)), "instructions")
+}
+
 func BenchmarkEventDrivenSim(b *testing.B) {
 	n := netlist.NewSimpleALU(8)
 	sim := timing.NewEventSim(n)

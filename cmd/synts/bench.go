@@ -25,6 +25,7 @@ import (
 	"synts/internal/obs"
 	"synts/internal/simprof"
 	"synts/internal/telemetry"
+	"synts/internal/timing"
 	"synts/internal/trace"
 	"synts/internal/workload"
 )
@@ -62,6 +63,9 @@ func benchSuite(size int) ([]string, map[string]func(b *testing.B), error) {
 		"BuildProfiles/radix/SimpleALU",
 		"SolvePoly/4threads",
 		"DelayTrace/SimpleALU",
+		"DelayTraceLevelized/SimpleALU",
+		"DelayTraceEvent/SimpleALU",
+		"DelayTraceBitParallel/SimpleALU",
 		"MeasureCPI/radix",
 		"obs/CounterDisabled",
 		"obs/CounterEnabled",
@@ -98,6 +102,57 @@ func benchSuite(size int) ([]string, map[string]func(b *testing.B), error) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sc.DelayTrace(iv)
+			}
+		},
+		"DelayTraceLevelized/SimpleALU": func(b *testing.B) {
+			sc := trace.NewStageCircuit(trace.SimpleALU)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc.DelayTraceLevelized(iv)
+			}
+		},
+		"DelayTraceEvent/SimpleALU": func(b *testing.B) {
+			sc := trace.NewStageCircuit(trace.SimpleALU)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sc.DelayTraceEvent(iv)
+			}
+		},
+		// Raw bit-parallel evaluation throughput: one full-width block per
+		// iteration, lane packing included (the event engine's engine (a)
+		// in isolation, without the arrival sweep).
+		"DelayTraceBitParallel/SimpleALU": func(b *testing.B) {
+			sc := trace.NewStageCircuit(trace.SimpleALU)
+			n := sc.Netlist
+			be := timing.NewBitEval(n)
+			vecs := make([][]bool, 64)
+			vi := 0
+			for _, in := range iv {
+				if !sc.Drives(in) {
+					continue
+				}
+				vecs[vi] = append([]bool(nil), sc.Vector(in)...)
+				if vi++; vi == 64 {
+					break
+				}
+			}
+			for ; vi < 64; vi++ { // short streams: repeat the last vector
+				vecs[vi] = vecs[vi-1]
+			}
+			inWords := make([]uint64, len(n.Inputs))
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				for w := range inWords {
+					inWords[w] = 0
+				}
+				for j, vec := range vecs {
+					for bi, v := range vec {
+						if v {
+							inWords[bi] |= 1 << uint(j)
+						}
+					}
+				}
+				be.EvalBlock(inWords)
 			}
 		},
 		"MeasureCPI/radix": func(b *testing.B) {

@@ -47,6 +47,7 @@ var (
 	threads = flag.Int("threads", 4, "cores/threads (the thesis models 4)")
 	maxIv   = flag.Int("intervals", 3, "barrier intervals analysed per benchmark")
 	jobs    = flag.Int("j", runtime.NumCPU(), "experiments run concurrently (1 = serial; output is identical at any -j)")
+	engine  = flag.String("engine", "event", "timing engine: event (bit-parallel + event-driven) or levelized (golden reference; output is identical either way)")
 	verbose = flag.Bool("v", false, "print progress to stderr")
 
 	stats      = flag.Bool("stats", false, "print end-of-run metrics/span table to stderr")
@@ -79,6 +80,12 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	eng, err := trace.ParseEngine(*engine)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "synts: %v\n", err)
+		os.Exit(2)
+	}
+	trace.SetEngine(eng)
 	switch flag.Arg(0) {
 	case "bench":
 		if err := runBenchCmd(flag.Args()[1:], os.Stderr); err != nil {

@@ -185,6 +185,54 @@ func (k Kind) Eval(in []bool) bool {
 	}
 }
 
+// EvalWord evaluates the gate for 64 independent input assignments at once:
+// bit j of each operand word is input pin value for assignment j, and bit j
+// of the result is the gate's output for that assignment. Operands beyond
+// NumInputs() are ignored (pass anything). This is the bit-parallel sibling
+// of Eval used by the timing package's block evaluator; the two must agree
+// on every kind and input combination (TestEvalWordMatchesEval).
+func (k Kind) EvalWord(a, b, c uint64) uint64 {
+	switch k {
+	case CONST0:
+		return 0
+	case CONST1:
+		return ^uint64(0)
+	case BUF:
+		return a
+	case INV:
+		return ^a
+	case AND2:
+		return a & b
+	case OR2:
+		return a | b
+	case NAND2:
+		return ^(a & b)
+	case NOR2:
+		return ^(a | b)
+	case XOR2:
+		return a ^ b
+	case XNOR2:
+		return ^(a ^ b)
+	case NAND3:
+		return ^(a & b & c)
+	case NOR3:
+		return ^(a | b | c)
+	case AND3:
+		return a & b & c
+	case OR3:
+		return a | b | c
+	case MUX2:
+		// Pin order matches Eval: a=sel, b=input0, c=input1.
+		return (^a & b) | (a & c)
+	case AOI21:
+		return ^((a & b) | c)
+	case OAI21:
+		return ^((a | b) & c)
+	default:
+		panic("gates: unknown kind " + k.String())
+	}
+}
+
 // FFArea is the area of a standard (non-Razor) flip-flop in INV units.
 const FFArea = 6.0
 

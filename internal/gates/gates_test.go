@@ -145,3 +145,59 @@ func TestRazorAreaLargerThanFF(t *testing.T) {
 		t.Fatalf("RazorFFEnergyOverhead %v out of (0,1)", RazorFFEnergyOverhead)
 	}
 }
+
+// EvalWord must agree with Eval on every kind for every input combination,
+// across all 64 lanes. The lanes are loaded with a different combination per
+// bit position so a lane-ordering bug (e.g. a stray shift) is also caught.
+func TestEvalWordMatchesEval(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		nIn := k.NumInputs()
+		combos := 1 << uint(nIn)
+		// Scalar truth table.
+		truth := make([]bool, combos)
+		for v := 0; v < combos; v++ {
+			in := make([]bool, nIn)
+			for i := 0; i < nIn; i++ {
+				in[i] = v&(1<<uint(i)) != 0
+			}
+			truth[v] = k.Eval(in)
+		}
+		// Lane j carries combination j%combos; operand words follow.
+		var a, b, c, want uint64
+		for j := 0; j < 64; j++ {
+			v := j % combos
+			if v&1 != 0 {
+				a |= 1 << uint(j)
+			}
+			if v&2 != 0 {
+				b |= 1 << uint(j)
+			}
+			if v&4 != 0 {
+				c |= 1 << uint(j)
+			}
+			if truth[v] {
+				want |= 1 << uint(j)
+			}
+		}
+		if got := k.EvalWord(a, b, c); got != want {
+			t.Errorf("%s: EvalWord = %016x, want %016x", k, got, want)
+		}
+	}
+}
+
+// Unused operand words must not influence the result: a 1-input cell fed
+// garbage in b and c behaves identically to one fed zeros.
+func TestEvalWordIgnoresUnusedOperands(t *testing.T) {
+	garbage := uint64(0xDEADBEEFCAFEF00D)
+	for k := Kind(0); k < numKinds; k++ {
+		var a, b, c uint64 = 0xAAAA5555AAAA5555, 0x3333CCCC3333CCCC, 0x0F0F0F0FF0F0F0F0
+		args := []*uint64{&a, &b, &c}
+		clean := k.EvalWord(a, b, c)
+		for i := k.NumInputs(); i < 3; i++ {
+			*args[i] = garbage
+		}
+		if got := k.EvalWord(a, b, c); got != clean {
+			t.Errorf("%s: unused operand changed EvalWord: %016x vs %016x", k, got, clean)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package gpgpu
 
 import (
+	"synts/internal/trace"
 	"testing"
 
 	"synts/internal/isa"
@@ -111,5 +112,19 @@ func TestLaneErrBounds(t *testing.T) {
 		if e != 0 {
 			t.Fatalf("lane %d err at r=1 must be 0, got %v", l, e)
 		}
+	}
+}
+
+// LaneErr rides on trace.DelayTrace, so the process-wide engine selection
+// must not change its result in any lane.
+func TestLaneErrEngineIndependent(t *testing.T) {
+	p, _ := ProgramByName("FFT", 150, 3)
+	defer trace.SetEngine(trace.EngineEvent)
+	trace.SetEngine(trace.EngineLevelized)
+	want := LaneErr(p, 0.64)
+	trace.SetEngine(trace.EngineEvent)
+	got := LaneErr(p, 0.64)
+	if want != got {
+		t.Fatalf("lane error probabilities differ between engines:\nlevelized %v\nevent     %v", want, got)
 	}
 }

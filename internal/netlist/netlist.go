@@ -50,9 +50,20 @@ type Netlist struct {
 	InputBuses  []Bus
 	OutputBuses []Bus
 
-	numNets    int
-	driver     []int32     // net -> index into Gates, or -1 for a primary input
-	inputIndex map[Net]int // primary-input net -> position in Inputs
+	numNets  int
+	driver   []int32 // net -> index into Gates, or -1 for a primary input
+	inputPos []int32 // net -> position in Inputs, or -1 for internal nets
+
+	// Connectivity precomputed once at Build time for the incremental
+	// timing engines (package timing): fanout lists in CSR form and the
+	// logic level of every gate. Both are derived data — they add nothing
+	// a walk over Gates could not recompute — but the event-driven engine
+	// consults them per changed net, so they are built once here instead
+	// of once per analyzer.
+	fanoutStart []int32 // net -> first index into fanoutGates; len numNets+1
+	fanoutGates []int32 // concatenated per-net gate-index lists, ascending
+	gateLevel   []int32 // gate -> logic level (primary inputs are level 0)
+	maxLevel    int32   // deepest gate level
 }
 
 // NumNets returns the total number of signal nodes.
@@ -61,6 +72,22 @@ func (n *Netlist) NumNets() int { return n.numNets }
 // Driver returns the index of the gate driving net t, or -1 if t is a
 // primary input.
 func (n *Netlist) Driver(t Net) int { return int(n.driver[t]) }
+
+// Fanout returns the indices of the gates that read net t, in ascending
+// (and therefore topological) order. The slice aliases the netlist's
+// internal storage and must not be modified.
+func (n *Netlist) Fanout(t Net) []int32 {
+	return n.fanoutGates[n.fanoutStart[t]:n.fanoutStart[t+1]]
+}
+
+// GateLevel returns the logic level of gate gi: 1 + the maximum level of
+// its input nets, where primary inputs sit at level 0. Gates on the same
+// level never feed each other, which is what lets the event-driven engine
+// drain its dirty worklist one level at a time.
+func (n *Netlist) GateLevel(gi int) int { return int(n.gateLevel[gi]) }
+
+// NumLevels returns the number of distinct gate levels (deepest level + 1).
+func (n *Netlist) NumLevels() int { return int(n.maxLevel) + 1 }
 
 // Area returns the total combinational cell area in INV units.
 func (n *Netlist) Area() float64 {
@@ -121,7 +148,7 @@ func (n *Netlist) Eval(in []bool, vals []bool) []bool {
 // value slice indexed like Inputs) for the given input bus.
 func (n *Netlist) SetBusUint(in []bool, bus Bus, v uint64) {
 	for i, t := range bus.Nets {
-		in[n.inputIndex[t]] = v&(1<<uint(i)) != 0
+		in[n.inputPos[t]] = v&(1<<uint(i)) != 0
 	}
 }
 
@@ -142,7 +169,6 @@ func BusUint(vals []bool, bus Bus) uint64 {
 // is topologically ordered by construction.
 type Builder struct {
 	n        Netlist
-	inputIdx map[Net]int
 	varRng   *rand.Rand
 	varSigma float64
 }
@@ -158,7 +184,6 @@ func NewBuilder(name string) *Builder {
 	}
 	return &Builder{
 		n:        Netlist{Name: name},
-		inputIdx: make(map[Net]int),
 		varRng:   rand.New(rand.NewSource(seed)),
 		varSigma: 0.06,
 	}
@@ -209,7 +234,6 @@ func (b *Builder) InputBusN(name string, width int) Bus {
 	bus := Bus{Name: name, Nets: make([]Net, width)}
 	for i := range bus.Nets {
 		t := b.newNet()
-		b.inputIdx[t] = len(b.n.Inputs)
 		b.n.Inputs = append(b.n.Inputs, t)
 		bus.Nets[i] = t
 	}
@@ -289,10 +313,61 @@ func (b *Builder) Build() (*Netlist, error) {
 			return nil, fmt.Errorf("netlist %s: net %d has no driver", b.n.Name, t)
 		}
 	}
-	b.n.inputIndex = b.inputIdx
+	b.n.precomputeConnectivity()
 	out := b.n
 	b.n = Netlist{} // poison further use
 	return &out, nil
+}
+
+// precomputeConnectivity fills the CSR fanout lists and gate levels. Gates
+// are visited in topological order, so per-net fanout lists come out in
+// ascending gate-index order and each gate's input levels are already final
+// when its own level is computed.
+func (n *Netlist) precomputeConnectivity() {
+	n.inputPos = make([]int32, n.numNets)
+	for i := range n.inputPos {
+		n.inputPos[i] = -1
+	}
+	for i, t := range n.Inputs {
+		n.inputPos[t] = int32(i)
+	}
+	counts := make([]int32, n.numNets+1)
+	for _, g := range n.Gates {
+		for i := 0; i < g.Kind.NumInputs(); i++ {
+			counts[g.In[i]+1]++
+		}
+	}
+	n.fanoutStart = counts
+	for t := 1; t <= n.numNets; t++ {
+		n.fanoutStart[t] += n.fanoutStart[t-1]
+	}
+	n.fanoutGates = make([]int32, n.fanoutStart[n.numNets])
+	next := make([]int32, n.numNets)
+	copy(next, n.fanoutStart[:n.numNets])
+	for gi, g := range n.Gates {
+		for i := 0; i < g.Kind.NumInputs(); i++ {
+			t := g.In[i]
+			n.fanoutGates[next[t]] = int32(gi)
+			next[t]++
+		}
+	}
+
+	netLevel := make([]int32, n.numNets) // primary inputs stay 0
+	n.gateLevel = make([]int32, len(n.Gates))
+	for gi, g := range n.Gates {
+		var worst int32
+		for i := 0; i < g.Kind.NumInputs(); i++ {
+			if l := netLevel[g.In[i]]; l > worst {
+				worst = l
+			}
+		}
+		lvl := worst + 1
+		n.gateLevel[gi] = lvl
+		netLevel[g.Out] = lvl
+		if lvl > n.maxLevel {
+			n.maxLevel = lvl
+		}
+	}
 }
 
 // MustBuild is Build but panics on error; for the static stage generators

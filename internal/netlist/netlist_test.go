@@ -406,3 +406,65 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// The Build-time connectivity precompute must agree with a direct walk over
+// the gate list: every (net, consumer) edge appears exactly once in the CSR
+// fanout lists, lists are ascending, and levels strictly increase along
+// every edge — on every stage and arithmetic-family generator.
+func TestConnectivityPrecompute(t *testing.T) {
+	nls := []*Netlist{
+		NewDecode(),
+		NewSimpleALU(32),
+		NewComplexALU(16),
+		NewMultiplier(16),
+		NewDivider(16),
+		NewAdderNetlist(AdderRipple, 32),
+		NewAdderNetlist(AdderKoggeStone, 32),
+		NewAdderNetlist(AdderBrentKung, 32),
+	}
+	for _, n := range nls {
+		// Reference fanout from a direct scan.
+		want := make([][]int32, n.NumNets())
+		for gi, g := range n.Gates {
+			for i := 0; i < g.Kind.NumInputs(); i++ {
+				want[g.In[i]] = append(want[g.In[i]], int32(gi))
+			}
+		}
+		total := 0
+		for tn := 0; tn < n.NumNets(); tn++ {
+			got := n.Fanout(Net(tn))
+			if len(got) != len(want[tn]) {
+				t.Fatalf("%s: net %d fanout size %d, want %d", n.Name, tn, len(got), len(want[tn]))
+			}
+			for i := range got {
+				if got[i] != want[tn][i] {
+					t.Fatalf("%s: net %d fanout[%d] = %d, want %d", n.Name, tn, i, got[i], want[tn][i])
+				}
+				if i > 0 && got[i] <= got[i-1] {
+					t.Fatalf("%s: net %d fanout not ascending", n.Name, tn)
+				}
+			}
+			total += len(got)
+		}
+		// Levels: gate level = 1 + max input net level, bounded by NumLevels.
+		netLevel := make([]int, n.NumNets())
+		for gi, g := range n.Gates {
+			worst := 0
+			for i := 0; i < g.Kind.NumInputs(); i++ {
+				if l := netLevel[g.In[i]]; l > worst {
+					worst = l
+				}
+			}
+			if got := n.GateLevel(gi); got != worst+1 {
+				t.Fatalf("%s: gate %d level %d, want %d", n.Name, gi, got, worst+1)
+			}
+			if n.GateLevel(gi) >= n.NumLevels() {
+				t.Fatalf("%s: gate %d level %d >= NumLevels %d", n.Name, gi, n.GateLevel(gi), n.NumLevels())
+			}
+			netLevel[g.Out] = n.GateLevel(gi)
+		}
+		if total == 0 {
+			t.Fatalf("%s: no fanout edges recorded", n.Name)
+		}
+	}
+}

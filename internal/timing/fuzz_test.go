@@ -95,6 +95,100 @@ func TestRandomNetlistCrossValidation(t *testing.T) {
 	}
 }
 
+// FuzzStepEquivalence is the differential fuzzer for the three levelized-
+// model engines: on a random netlist (derived from seed and nGates) driven
+// by a vector stream (derived from stream bytes — each byte's low bits
+// toggle the corresponding primary inputs), the levelized Analyzer, the
+// event-driven Incremental engine and the bit-parallel BlockAnalyzer must
+// produce bit-identical delays, settled values and touched-gate counts.
+// CI runs it for a short budget on every push; the seed corpus is checked
+// in under testdata/fuzz.
+func FuzzStepEquivalence(f *testing.F) {
+	f.Add(int64(2016), uint8(40), []byte{0x01, 0x03, 0x00, 0x07, 0x1F, 0x02, 0x02, 0x3F})
+	f.Add(int64(7), uint8(120), []byte("synergistic timing speculation"))
+	f.Add(int64(-1), uint8(1), []byte{0xFF})
+	f.Fuzz(func(t *testing.T, seed int64, nGates uint8, stream []byte) {
+		rng := rand.New(rand.NewSource(seed))
+		nIn := 2 + rng.Intn(6)
+		n := randomNetlist(rng, nIn, 5+int(nGates))
+		if len(stream) > 128 {
+			stream = stream[:128]
+		}
+
+		lv := NewAnalyzer(n)
+		ev := NewIncremental(n)
+		ba := NewBlockAnalyzer(n)
+		in := make([]bool, nIn)
+		lv.Reset(in)
+		ev.Reset(in)
+		ba.Reset(in)
+
+		// Walk the stream once with the per-vector engines, recording the
+		// reference delays and per-step touched counts.
+		wantDelay := make([]float64, len(stream))
+		wantTouch := make([]int64, len(stream))
+		vecs := make([][]bool, len(stream))
+		prev := lv.Touched()
+		for s, c := range stream {
+			for i := 0; i < nIn; i++ {
+				if c&(1<<uint(i)) != 0 {
+					in[i] = !in[i]
+				}
+			}
+			vecs[s] = append([]bool(nil), in...)
+			wantDelay[s] = lv.Step(in)
+			wantTouch[s] = lv.Touched() - prev
+			prev = lv.Touched()
+			if got := ev.Step(in); got != wantDelay[s] {
+				t.Fatalf("step %d: Incremental delay %v, Analyzer %v", s, got, wantDelay[s])
+			}
+			for tn := 0; tn < n.NumNets(); tn++ {
+				if ev.Values()[tn] != lv.Values()[tn] {
+					t.Fatalf("step %d: Incremental net %d value diverged", s, tn)
+				}
+			}
+		}
+
+		// Replay through the block engine in ragged blocks; block size is
+		// itself fuzz-derived so boundaries land everywhere.
+		blockSize := 1 + int(nGates)%64
+		inWords := make([]uint64, nIn)
+		delays := make([]float64, 64)
+		touched := make([]int64, 64)
+		for start := 0; start < len(vecs); start += blockSize {
+			k := blockSize
+			if start+k > len(vecs) {
+				k = len(vecs) - start
+			}
+			for i := range inWords {
+				inWords[i] = 0
+			}
+			for j := 0; j < k; j++ {
+				for i, v := range vecs[start+j] {
+					if v {
+						inWords[i] |= 1 << uint(j)
+					}
+				}
+			}
+			ba.StepBlock(inWords, k, delays, touched)
+			for j := 0; j < k; j++ {
+				if delays[j] != wantDelay[start+j] {
+					t.Fatalf("step %d: BlockAnalyzer delay %v, Analyzer %v",
+						start+j, delays[j], wantDelay[start+j])
+				}
+				if touched[j] != wantTouch[start+j] {
+					t.Fatalf("step %d: BlockAnalyzer touched %d, Analyzer %d",
+						start+j, touched[j], wantTouch[start+j])
+				}
+			}
+		}
+		if ev.Touched() != lv.Touched() || ba.Touched() != lv.Touched() {
+			t.Fatalf("touched totals diverged: levelized %d, incremental %d, block %d",
+				lv.Touched(), ev.Touched(), ba.Touched())
+		}
+	})
+}
+
 // STA on a random circuit must upper-bound the settle time of an
 // exhaustive toggle of every single input (the classic one-hot transition
 // sweep used to spot missed paths).

@@ -10,14 +10,26 @@
 //
 // Two delay models are provided:
 //
-//   - Analyzer.Step: a fast levelized transition-arrival pass. A net's
-//     transition arrival is gate delay plus the latest arrival among inputs
-//     that themselves changed. Hazards (glitches that settle back) are not
-//     modelled. This is the default used for the multi-million-vector
-//     experiment traces.
+//   - Analyzer.Step: a levelized transition-arrival pass over every gate. A
+//     net's transition arrival is gate delay plus the latest arrival among
+//     inputs that themselves changed. Hazards (glitches that settle back)
+//     are not modelled. This is the golden reference for the model.
 //   - EventSim.Step: an exact transport-delay event-driven simulator that
 //     does model glitches. Used to validate the levelized pass and for the
 //     glitch-sensitivity ablation.
+//
+// Two further engines compute the levelized model faster while reproducing
+// its delays bit for bit (same float arithmetic per gate, same visit order
+// within a fanout cone):
+//
+//   - Incremental.Step: event-driven. Per vector it re-walks only the
+//     fanout cone of the changed inputs, using the netlist's precomputed
+//     fanout lists and a level-ordered dirty worklist.
+//   - BlockAnalyzer.StepBlock: bit-parallel + event-driven. A BitEval pass
+//     evaluates 64 consecutive vectors at once (one uint64 lane-word per
+//     net), and the per-vector arrival walk then consumes precomputed
+//     toggle masks instead of re-evaluating gates. This is the engine
+//     behind trace.DelayTrace's default -engine=event path.
 //
 // For both, the delay of a vector is the time of the last transition on any
 // primary output: outputs that are still switching when the clock edge
@@ -33,11 +45,12 @@ import (
 // Analyzer owns the levelized state for one netlist. It is not safe for
 // concurrent use; create one per goroutine.
 type Analyzer struct {
-	n      *netlist.Netlist
-	vals   []bool    // current settled values per net
-	arr    []float64 // transition arrival per net for the current step; <0 = no transition
-	outSet []bool    // per net: is a primary output
-	inited bool
+	n       *netlist.Netlist
+	vals    []bool    // current settled values per net
+	arr     []float64 // transition arrival per net for the current step; <0 = no transition
+	outSet  []bool    // per net: is a primary output
+	inited  bool
+	touched int64 // gates with at least one changed input, across all steps
 }
 
 // NewAnalyzer returns an analyzer for the netlist.
@@ -85,7 +98,16 @@ func (a *Analyzer) CriticalPath() float64 {
 func (a *Analyzer) Reset(in []bool) {
 	a.vals = a.n.Eval(in, a.vals)
 	a.inited = true
+	a.touched += int64(len(a.n.Gates)) // the priming pass evaluates every gate
 }
+
+// Touched returns the cumulative number of gate evaluations performed: one
+// per gate for each Reset, plus — per Step — one per gate that saw at least
+// one changed input. The levelized pass visits every gate per Step but only
+// the touched ones do real work; the incremental engines visit exactly the
+// touched set, so this count is engine-independent and is what the
+// trace.gate_evals counter and the simprof issue-phase attribution report.
+func (a *Analyzer) Touched() int64 { return a.touched }
 
 // Step applies the next input vector and returns the sensitized delay: the
 // latest transition arrival on any primary output, or 0 if no output
@@ -125,6 +147,7 @@ func (a *Analyzer) Step(in []bool) float64 {
 			a.arr[g.Out] = none
 			continue
 		}
+		a.touched++
 		nv := g.Kind.Eval(pins[:k])
 		if nv == a.vals[g.Out] {
 			a.arr[g.Out] = none

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Engine selects which timing engine DelayTrace runs. Both engines compute
+// the identical levelized transition-arrival model — delays are bit-equal
+// float64s, so every downstream artefact (stdout tables, the events ledger,
+// simprof profiles) is byte-identical whichever engine ran. CI enforces
+// this equivalence on every push.
+type Engine int32
+
+const (
+	// EngineEvent is the default: the bit-parallel + event-driven engine
+	// (timing.BlockAnalyzer). Vectors are evaluated 64 at a time in uint64
+	// lanes and each vector's arrival walk visits only the fanout cone of
+	// its changed nets.
+	EngineEvent Engine = iota
+	// EngineLevelized is the golden reference: one full levelized pass
+	// over every gate per vector (timing.Analyzer). Kept as the escape
+	// hatch (-engine=levelized) and as the oracle the equivalence tests
+	// and the differential fuzzer compare against.
+	EngineLevelized
+)
+
+// String returns the engine name as the -engine flag spells it.
+func (e Engine) String() string {
+	switch e {
+	case EngineEvent:
+		return "event"
+	case EngineLevelized:
+		return "levelized"
+	}
+	return fmt.Sprintf("Engine(%d)", int32(e))
+}
+
+// ParseEngine parses a -engine flag value.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "event":
+		return EngineEvent, nil
+	case "levelized":
+		return EngineLevelized, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want levelized or event)", s)
+}
+
+// engine is the process-wide engine selection; atomic so concurrent
+// profile builds read a consistent value while tests switch it.
+var engine atomic.Int32 // zero value == EngineEvent
+
+// SetEngine selects the engine DelayTrace uses process-wide.
+func SetEngine(e Engine) { engine.Store(int32(e)) }
+
+// CurrentEngine returns the engine DelayTrace will use.
+func CurrentEngine() Engine { return Engine(engine.Load()) }

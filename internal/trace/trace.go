@@ -55,14 +55,19 @@ type StageCircuit struct {
 	Netlist *netlist.Netlist
 	TCrit   float64 // STA critical path, ps at nominal voltage
 
-	in      []bool // scratch input vector
-	pc      uint32 // synthetic program counter (Decode stage)
-	opBus   netlist.Bus
-	aBus    netlist.Bus
-	bBus    netlist.Bus
-	cBus    netlist.Bus
-	instBus netlist.Bus
-	pcBus   netlist.Bus
+	in []bool // scratch input vector
+	// lastTouched holds, per instruction of the most recent DelayTrace
+	// call, the number of gates the timing engine touched (nil unless the
+	// simprof profiler was on). Touched counts are a property of the
+	// vector stream, not the engine, so attribution is engine-independent.
+	lastTouched []int64
+	pc          uint32 // synthetic program counter (Decode stage)
+	opBus       netlist.Bus
+	aBus        netlist.Bus
+	bBus        netlist.Bus
+	cBus        netlist.Bus
+	instBus     netlist.Bus
+	pcBus       netlist.Bus
 }
 
 var (
@@ -221,32 +226,143 @@ func (sc *StageCircuit) SeekPC(earlier [][]isa.Inst) {
 
 // DelayTrace computes the sensitized delay of every instruction in the
 // window. Instructions that do not drive the stage hold its inputs and get
-// delay 0. The analyzer state persists across the whole window, so
+// delay 0. The engine state persists across the whole window, so
 // back-to-back instructions see realistic previous-vector transitions.
+//
+// The engine is selected process-wide (SetEngine / cmd/synts -engine):
+// the default event engine and the levelized reference produce bit-equal
+// delays, so the choice never changes any downstream artefact. The
+// trace.gate_evals counter records *touched* gates (gates with at least
+// one changed input, plus one full pass for the priming vector) — an
+// engine-independent measure of the work the vector stream demands, which
+// is what makes the event engine's win attributable in BENCH_synts.json.
 func (sc *StageCircuit) DelayTrace(iv []isa.Inst) []float64 {
+	perInst := simprof.Enabled() // issue-phase attribution wants per-op touched counts
+	var delays []float64
+	var touched int64
+	if CurrentEngine() == EngineLevelized {
+		delays, touched = sc.delayTraceLevelized(iv, perInst)
+	} else {
+		delays, touched = sc.delayTraceEvent(iv, perInst)
+	}
+	if obs.Enabled() {
+		obs.C("trace.gate_evals").Add(touched)
+		obs.C("trace.instructions").Add(int64(len(iv)))
+	}
+	return delays
+}
+
+// DelayTraceLevelized runs the window through the levelized reference
+// engine regardless of the process-wide selection (benchmarks and
+// equivalence tests).
+func (sc *StageCircuit) DelayTraceLevelized(iv []isa.Inst) []float64 {
+	d, _ := sc.delayTraceLevelized(iv, false)
+	return d
+}
+
+// DelayTraceEvent runs the window through the bit-parallel + event-driven
+// engine regardless of the process-wide selection.
+func (sc *StageCircuit) DelayTraceEvent(iv []isa.Inst) []float64 {
+	d, _ := sc.delayTraceEvent(iv, false)
+	return d
+}
+
+// delayTraceLevelized is the reference path: one full levelized pass per
+// driving vector. Returns the delays and the total touched-gate count;
+// with perInst it also records per-instruction touched counts in
+// sc.lastTouched (nil otherwise).
+func (sc *StageCircuit) delayTraceLevelized(iv []isa.Inst, perInst bool) ([]float64, int64) {
 	an := timing.NewAnalyzer(sc.Netlist)
 	delays := make([]float64, len(iv))
+	var touched []int64
+	if perInst {
+		touched = make([]int64, len(iv))
+	}
 	primed := false
-	steps := 0
+	var prev int64
 	for i, in := range iv {
 		if !sc.Drives(in) {
 			continue // delay 0: inputs held
 		}
 		vec := sc.Vector(in)
-		steps++
 		if !primed {
 			an.Reset(vec) // first driving vector establishes state
 			primed = true
+		} else {
+			delays[i] = an.Step(vec)
+		}
+		if perInst {
+			touched[i] = an.Touched() - prev
+			prev = an.Touched()
+		}
+	}
+	sc.lastTouched = touched
+	return delays, an.Touched()
+}
+
+// delayTraceEvent is the fast path: driving vectors are packed 64 at a
+// time into uint64 lanes (bit j of inWords[i] = input i of the block's
+// j-th vector), one bit-parallel pass settles each block, and each
+// vector's delay comes from an event-driven walk of its changed-net
+// fanout cone. Delays are bit-identical to delayTraceLevelized.
+func (sc *StageCircuit) delayTraceEvent(iv []isa.Inst, perInst bool) ([]float64, int64) {
+	n := sc.Netlist
+	ba := timing.NewBlockAnalyzer(n)
+	delays := make([]float64, len(iv))
+	var touched []int64
+	var blockTouched []int64
+	if perInst {
+		touched = make([]int64, len(iv))
+		blockTouched = make([]int64, 64)
+	}
+	inWords := make([]uint64, len(n.Inputs))
+	blockDelays := make([]float64, 64)
+	var lanePos [64]int // lane -> instruction index
+	lanes := 0
+	flush := func() {
+		if lanes == 0 {
+			return
+		}
+		ba.StepBlock(inWords, lanes, blockDelays, blockTouched)
+		for j := 0; j < lanes; j++ {
+			delays[lanePos[j]] = blockDelays[j]
+			if perInst {
+				touched[lanePos[j]] = blockTouched[j]
+			}
+		}
+		for i := range inWords {
+			inWords[i] = 0
+		}
+		lanes = 0
+	}
+	primed := false
+	for i, in := range iv {
+		if !sc.Drives(in) {
+			continue // delay 0: inputs held
+		}
+		vec := sc.Vector(in)
+		if !primed {
+			ba.Reset(vec) // first driving vector establishes state
+			primed = true
+			if perInst {
+				touched[i] = int64(len(n.Gates))
+			}
 			continue
 		}
-		delays[i] = an.Step(vec)
+		for b, v := range vec {
+			if v {
+				inWords[b] |= 1 << uint(lanes)
+			}
+		}
+		lanePos[lanes] = i
+		lanes++
+		if lanes == 64 {
+			flush()
+		}
 	}
-	if obs.Enabled() {
-		// Each Reset/Step is one levelized pass over every gate.
-		obs.C("trace.gate_evals").Add(int64(steps) * int64(len(sc.Netlist.Gates)))
-		obs.C("trace.instructions").Add(int64(len(iv)))
-	}
-	return delays
+	flush()
+	sc.lastTouched = touched
+	return delays, ba.Touched()
 }
 
 // Profile is the per-thread, per-barrier-interval characterisation that
@@ -415,17 +531,28 @@ func opsOf(iv []isa.Inst) []isa.Op {
 }
 
 // recordIssueAttr attributes one interval's delay-trace work to simprof:
-// each instruction that drives the stage costs one issue cycle and one
-// levelized pass over the stage's gates (the same accounting as the
-// trace.gate_evals obs counter, but keyed per opcode).
+// each instruction that drives the stage costs one issue cycle, and its
+// energy is the touched-gate count its vector demanded (the same
+// accounting as the trace.gate_evals obs counter, but keyed per opcode).
+// Touched counts come from the DelayTrace call that just ran
+// (sc.lastTouched) and are engine-independent, so simprof artefacts stay
+// byte-identical whichever engine produced them.
 func recordIssueAttr(kernel string, thread, interval int, sc *StageCircuit, iv []isa.Inst) {
 	var counts [isa.NumOps]int64
-	for _, in := range iv {
-		if sc.Drives(in) {
-			counts[in.Op]++
+	var work [isa.NumOps]int64
+	touched := sc.lastTouched
+	allGates := int64(len(sc.Netlist.Gates))
+	for i, in := range iv {
+		if !sc.Drives(in) {
+			continue
+		}
+		counts[in.Op]++
+		if touched != nil {
+			work[in.Op] += touched[i]
+		} else {
+			work[in.Op] += allGates
 		}
 	}
-	gates := float64(len(sc.Netlist.Gates))
 	stage := sc.Stage.String()
 	for op, n := range counts {
 		if n == 0 {
@@ -433,7 +560,7 @@ func recordIssueAttr(kernel string, thread, interval int, sc *StageCircuit, iv [
 		}
 		simprof.Record(
 			simprof.Key{Kernel: kernel, Core: thread, Interval: interval, Phase: simprof.PhaseIssue, Op: isa.Op(op).String(), Stage: stage},
-			simprof.Values{Cycles: float64(n), Energy: float64(n) * gates * simprof.EnergyPerGateEvalPJ, Instrs: n},
+			simprof.Values{Cycles: float64(n), Energy: float64(work[op]) * simprof.EnergyPerGateEvalPJ, Instrs: n},
 		)
 	}
 }

@@ -445,3 +445,116 @@ func BenchmarkBuildProfilesStats(b *testing.B) {
 		}
 	}
 }
+
+// The trace-level engine contract: for every stage, the levelized
+// reference and the bit-parallel + event-driven engine produce identical
+// per-instruction delay slices, and the process-wide engine selection
+// never changes what DelayTrace returns.
+func TestDelayTraceEngineEquivalence(t *testing.T) {
+	k, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 2, 1, 2016)
+	defer SetEngine(EngineEvent)
+	for _, stage := range Stages() {
+		for _, s := range streams {
+			for ii, iv := range s.Intervals {
+				ref := NewStageCircuit(stage)
+				ref.SeekPC(s.Intervals[:ii])
+				want := ref.DelayTraceLevelized(iv)
+
+				ev := NewStageCircuit(stage)
+				ev.SeekPC(s.Intervals[:ii])
+				got := ev.DelayTraceEvent(iv)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("%v interval %d: event delays differ from levelized", stage, ii)
+				}
+
+				for _, eng := range []Engine{EngineLevelized, EngineEvent} {
+					SetEngine(eng)
+					sc := NewStageCircuit(stage)
+					sc.SeekPC(s.Intervals[:ii])
+					if !reflect.DeepEqual(want, sc.DelayTrace(iv)) {
+						t.Fatalf("%v interval %d: DelayTrace under %v differs", stage, ii, eng)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Full-pipeline equivalence: profiles built under either engine are
+// DeepEqual, so every artefact derived from them is byte-identical — the
+// invariant the CI engine-equivalence job enforces end to end.
+func TestBuildProfilesEngineEquivalence(t *testing.T) {
+	k, err := workload.ByName("ocean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 2, 1, 2016)
+	defer SetEngine(EngineEvent)
+	for _, stage := range Stages() {
+		SetEngine(EngineLevelized)
+		want, err := BuildProfilesSerial(streams, stage, cpu.DefaultL1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		SetEngine(EngineEvent)
+		got, err := BuildProfilesSerial(streams, stage, cpu.DefaultL1())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("%v: profiles differ between engines", stage)
+		}
+	}
+}
+
+// Issue-phase attribution is keyed on touched-gate counts, which are a
+// property of the vector stream, not the engine: the simprof samples a
+// scoped build records must be identical whichever engine ran.
+func TestSimprofAttributionEngineIndependent(t *testing.T) {
+	k, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 2, 1, 7)
+	defer SetEngine(EngineEvent)
+	snapFor := func(eng Engine) []simprof.Entry {
+		SetEngine(eng)
+		simprof.Enable()
+		defer simprof.Disable()
+		if _, err := BuildProfilesScopedCtx(context.Background(), "radix", streams, SimpleALU, cpu.DefaultL1(), 2); err != nil {
+			t.Fatal(err)
+		}
+		return simprof.Snapshot()
+	}
+	want := snapFor(EngineLevelized)
+	got := snapFor(EngineEvent)
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("simprof attribution differs between engines")
+	}
+	if len(want) == 0 {
+		t.Fatal("no simprof samples recorded")
+	}
+}
+
+func TestParseEngine(t *testing.T) {
+	for _, tc := range []struct {
+		s  string
+		e  Engine
+		ok bool
+	}{{"event", EngineEvent, true}, {"levelized", EngineLevelized, true}, {"", 0, false}, {"Event", 0, false}} {
+		e, err := ParseEngine(tc.s)
+		if tc.ok != (err == nil) || (tc.ok && e != tc.e) {
+			t.Errorf("ParseEngine(%q) = %v, %v", tc.s, e, err)
+		}
+	}
+	if EngineEvent.String() != "event" || EngineLevelized.String() != "levelized" {
+		t.Error("engine String() does not round-trip flag spellings")
+	}
+	if CurrentEngine() != EngineEvent {
+		t.Error("default engine is not event")
+	}
+}
