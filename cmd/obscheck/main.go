@@ -1,12 +1,13 @@
 // Command obscheck validates the observability artifacts a synts run
 // emits: the -stats-json snapshot, the -trace-out Chrome trace, the
-// -events-out decision ledger and the -simprof-out simulation profile.
-// CI runs it against freshly generated files so a schema regression fails
-// the build instead of silently shipping artifacts no dashboard can parse.
+// -events-out decision ledger, the -simprof-out simulation profile and
+// the `synts sweep` scaling artifact. CI runs it against freshly
+// generated files so a schema regression fails the build instead of
+// silently shipping artifacts no dashboard can parse.
 //
 // Usage:
 //
-//	obscheck -stats stats.json -trace trace.json -events events.jsonl -ckpt ckptdir -simprof simprof.pb.gz
+//	obscheck -stats stats.json -trace trace.json -events events.jsonl -ckpt ckptdir -simprof simprof.pb.gz -sweep sweep.json
 //
 // Any flag may be omitted to check only the others. When both -events and
 // -simprof are given, the profiler's replay- and sampling-phase totals are
@@ -25,6 +26,7 @@ import (
 	"synts/internal/ckpt"
 	"synts/internal/isa"
 	"synts/internal/obs"
+	"synts/internal/sched"
 	"synts/internal/simprof"
 	"synts/internal/telemetry"
 	"synts/internal/trace"
@@ -36,10 +38,11 @@ func main() {
 	eventsPath := flag.String("events", "", "path to an -events-out decision ledger (synts-events/v1 JSONL)")
 	ckptPath := flag.String("ckpt", "", "path to a -checkpoint-dir directory (synts-ckpt/v1)")
 	simprofPath := flag.String("simprof", "", "path to a -simprof-out simulation profile (gzipped pprof profile.proto)")
+	sweepPath := flag.String("sweep", "", "path to a `synts sweep` artifact (synts-sweep/v1)")
 	allowEmpty := flag.Bool("allow-empty", false, "accept a ledger or profile with zero events/samples (schema is still enforced)")
 	flag.Parse()
-	if *statsPath == "" && *tracePath == "" && *eventsPath == "" && *ckptPath == "" && *simprofPath == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace, -events, -ckpt and/or -simprof)")
+	if *statsPath == "" && *tracePath == "" && *eventsPath == "" && *ckptPath == "" && *simprofPath == "" && *sweepPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace, -events, -ckpt, -simprof and/or -sweep)")
 		os.Exit(2)
 	}
 	failed := false
@@ -59,14 +62,34 @@ func main() {
 	check(*eventsPath, func(p string) error { return checkEvents(p, *allowEmpty) })
 	check(*ckptPath, checkCkpt)
 	check(*simprofPath, func(p string) error { return checkSimprof(p, *eventsPath, *allowEmpty) })
+	check(*sweepPath, checkSweep)
 	if failed {
 		os.Exit(1)
 	}
 }
 
+// checkSweep enforces the synts-sweep/v1 contract via the internal/sched
+// validator: schema and meta presence, at least two strictly increasing
+// distinct -j points per engine normalised to speedup 1 at the smallest,
+// span-derived attribution reconciling with the measured wall clock within
+// 5%, per-stage span sums consistent with worker-busy and pool capacity,
+// and a scaling fit per engine with parameters in range.
+func checkSweep(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var a sched.SweepArtifact
+	if err := json.Unmarshal(raw, &a); err != nil {
+		return fmt.Errorf("not a sweep artifact: %w", err)
+	}
+	return sched.ValidateSweep(&a)
+}
+
 // checkStats enforces the snapshot contract: parseable as obs.Snapshot,
-// pool queue-wait histogram with quantiles, the derived BenchCache hit
-// ratio in [0,1], and per-stage profile-build span totals.
+// a self-describing meta block (toolchain, platform, engine, workload
+// coordinates), pool queue-wait histogram with quantiles, the derived
+// BenchCache hit ratio in [0,1], and per-stage profile-build span totals.
 func checkStats(path string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
@@ -78,6 +101,21 @@ func checkStats(path string) error {
 	}
 	if s.Timestamp == "" || s.GoMaxProcs <= 0 {
 		return fmt.Errorf("missing timestamp/gomaxprocs")
+	}
+	if s.Meta == nil {
+		return fmt.Errorf("missing meta block")
+	}
+	if s.Meta.GoVersion == "" || s.Meta.GOOS == "" || s.Meta.GOARCH == "" {
+		return fmt.Errorf("meta is missing the toolchain/platform fields: %+v", s.Meta)
+	}
+	if s.Meta.GoMaxProcs != s.GoMaxProcs {
+		return fmt.Errorf("meta gomaxprocs %d disagrees with snapshot %d", s.Meta.GoMaxProcs, s.GoMaxProcs)
+	}
+	if s.Meta.NumCPU < 1 || s.Meta.Size < 0 {
+		return fmt.Errorf("implausible meta block: %+v", s.Meta)
+	}
+	if _, err := trace.ParseEngine(s.Meta.Engine); err != nil {
+		return fmt.Errorf("meta engine: %w", err)
 	}
 	qw, ok := s.Histograms["pool.queue_wait_ns"]
 	if !ok {

@@ -179,6 +179,18 @@ func TestStatsJSONAndTraceOutSchemas(t *testing.T) {
 	if err := json.Unmarshal(raw, &snap); err != nil {
 		t.Fatalf("stats-json is not a snapshot: %v", err)
 	}
+	if snap.Meta == nil {
+		t.Fatal("stats-json is missing the self-describing meta block")
+	}
+	if snap.Meta.GoVersion == "" || snap.Meta.GOOS == "" || snap.Meta.NumCPU < 1 {
+		t.Errorf("meta block incomplete: %+v", snap.Meta)
+	}
+	if snap.Meta.Engine != *engine {
+		t.Errorf("meta engine = %q, want flag value %q", snap.Meta.Engine, *engine)
+	}
+	if snap.Meta.GoMaxProcs != snap.GoMaxProcs {
+		t.Errorf("meta gomaxprocs %d != snapshot %d", snap.Meta.GoMaxProcs, snap.GoMaxProcs)
+	}
 	qw, ok := snap.Histograms["pool.queue_wait_ns"]
 	if !ok || qw.Count == 0 {
 		t.Fatalf("missing pool queue-wait histogram: %+v", snap.Histograms)

@@ -21,10 +21,12 @@ func obsRequested(stats bool, statsJSON, traceOut string) bool {
 	return stats || statsJSON != "" || traceOut != ""
 }
 
-// obsSnapshot digests the default registry and attaches the derived ratios
-// the snapshot schema promises (see cmd/obscheck).
+// obsSnapshot digests the default registry and attaches the self-describing
+// meta block plus the derived ratios the snapshot schema promises (see
+// cmd/obscheck).
 func obsSnapshot() *obs.Snapshot {
 	s := obs.Default().Snapshot()
+	s.SetRunMeta(*engine, *seed, *size)
 	s.AddDerived("exp.benchcache.hit_ratio",
 		s.Ratio("exp.benchcache.hit", "exp.benchcache.hit", "exp.benchcache.miss", "exp.benchcache.wait"))
 	s.AddDerived("exp.profiles.hit_ratio",

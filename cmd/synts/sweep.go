@@ -1,0 +1,269 @@
+package main
+
+// The `synts sweep` subcommand: the scaling-and-attribution harness. It
+// runs the same workload through the full pipeline (profile build + solve)
+// for every cell of the -j × -engine matrix, reconstructs each run's
+// execution DAG from the obs span records with the internal/sched
+// analyzer, and emits a schema-versioned synts-sweep/v1 JSON artifact
+// (measured speedups, wall-clock attribution, Amdahl/USL fits separating
+// the serial fraction from contention) plus a rendered markdown report.
+// The artifact self-validates before it is written — the same checks
+// `obscheck -sweep` applies in CI, including the 5% reconciliation of
+// span-derived attribution against the measured wall clock.
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"synts/internal/core"
+	"synts/internal/exp"
+	"synts/internal/obs"
+	"synts/internal/sched"
+	"synts/internal/telemetry"
+	"synts/internal/trace"
+	"synts/internal/workload"
+)
+
+// defaultJList is powers of two up to NumCPU, always at least {1, 2} so
+// the artifact carries the two points a scaling fit minimally needs.
+func defaultJList() string {
+	var js []string
+	for j := 1; j <= runtime.NumCPU(); j *= 2 {
+		js = append(js, strconv.Itoa(j))
+	}
+	if len(js) < 2 {
+		js = append(js, "2")
+	}
+	return strings.Join(js, ",")
+}
+
+// parseJList parses, dedupes and sorts a comma-separated worker-count
+// list; the sweep measures the points in increasing order.
+func parseJList(s string) ([]int, error) {
+	seen := map[int]bool{}
+	var js []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		j, err := strconv.Atoi(part)
+		if err != nil || j < 1 {
+			return nil, fmt.Errorf("bad -jlist entry %q (want positive integers)", part)
+		}
+		if !seen[j] {
+			seen[j] = true
+			js = append(js, j)
+		}
+	}
+	if len(js) < 2 {
+		return nil, fmt.Errorf("-jlist %q has %d distinct point(s); a scaling fit needs at least 2", s, len(js))
+	}
+	sort.Ints(js)
+	return js, nil
+}
+
+func parseEngines(s string) ([]trace.Engine, error) {
+	var engs []trace.Engine
+	seen := map[trace.Engine]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e, err := trace.ParseEngine(part)
+		if err != nil {
+			return nil, err
+		}
+		if !seen[e] {
+			seen[e] = true
+			engs = append(engs, e)
+		}
+	}
+	if len(engs) == 0 {
+		return nil, fmt.Errorf("-engines %q selects no engine", s)
+	}
+	return engs, nil
+}
+
+// runSweepConfig measures one (engine, j) cell: the full pipeline over
+// every stage with a fresh obs registry, analysed into a SweepConfig.
+// Speedup is filled in by the caller once the engine's baseline is known.
+func runSweepConfig(ctx context.Context, streams []*workload.Stream, eng trace.Engine, j int, opts exp.Options) (sched.SweepConfig, error) {
+	trace.SetEngine(eng)
+	obs.Enable() // resets the default registry: each cell is analysed in isolation
+	defer obs.Disable()
+	// The outer span stretches the span timeline over the whole cell, so
+	// solver time and per-stage glue on this goroutine are attributed as
+	// serial time rather than falling outside the analysed window.
+	sp := obs.StartSpan("sweep.config:" + eng.String())
+	start := time.Now()
+	for _, stage := range trace.Stages() {
+		profiles, err := trace.BuildProfilesWorkersCtx(ctx, streams, stage, opts.Cache, j)
+		if err != nil {
+			return sched.SweepConfig{}, err
+		}
+		cfg := exp.Platform(stage, opts)
+		intervals := trace.IntervalThreads(profiles)
+		theta := exp.ThetaGrid(cfg, intervals, []float64{1})[0]
+		exp.TimedSolveAll(telemetry.Scope{}, "SynTS-Poly", cfg, intervals, core.SolvePoly, theta)
+	}
+	wall := time.Since(start)
+	sp.End()
+	recs, dropped := obs.Default().SpanRecords()
+	if dropped > 0 {
+		return sched.SweepConfig{}, fmt.Errorf("%d span(s) dropped by the store cap; attribution would not reconcile", dropped)
+	}
+	qw := obs.Default().Histogram("pool.queue_wait_ns").Sum()
+	an := sched.Analyze(recs, sched.Options{
+		WallNs:      wall.Nanoseconds(),
+		Workers:     j,
+		QueueWaitNs: int64(qw),
+	})
+	return sched.SweepConfig{Engine: eng.String(), Jobs: j, WallNs: wall.Nanoseconds(), Analysis: an}, nil
+}
+
+// runSweep executes the matrix and assembles the validated artifact.
+func runSweep(ctx context.Context, benchName string, js []int, engs []trace.Engine, opts exp.Options, verbose bool, stderr io.Writer) (*sched.SweepArtifact, error) {
+	k, err := workload.ByName(benchName)
+	if err != nil {
+		return nil, err
+	}
+	streams := workload.RunKernel(k, opts.Threads, opts.Size, opts.Seed)
+	if opts.MaxIntervals > 0 {
+		for _, s := range streams {
+			if len(s.Intervals) > opts.MaxIntervals {
+				s.Intervals = s.Intervals[:opts.MaxIntervals]
+			}
+		}
+	}
+	var stageNames []string
+	for _, st := range trace.Stages() {
+		// Warm the per-stage circuits so netlist synthesis is not billed
+		// to the first measured cell.
+		trace.NewStageCircuit(st)
+		stageNames = append(stageNames, st.String())
+	}
+
+	meta := sched.SweepMeta{
+		RunMeta:   obs.NewRunMeta(),
+		Timestamp: time.Now().UTC().Format(time.RFC3339),
+		Bench:     benchName,
+		Threads:   opts.Threads,
+		Intervals: opts.MaxIntervals,
+		Stages:    stageNames,
+		Jobs:      js,
+	}
+	meta.Seed = opts.Seed
+	meta.Size = opts.Size
+	for _, eng := range engs {
+		meta.Engines = append(meta.Engines, eng.String())
+	}
+	art := &sched.SweepArtifact{Schema: sched.SweepSchema, Meta: meta}
+
+	for _, eng := range engs {
+		var baseWall int64
+		var pts []sched.SpeedupPoint
+		for _, j := range js {
+			cfg, err := runSweepConfig(ctx, streams, eng, j, opts)
+			if err != nil {
+				return nil, fmt.Errorf("engine %s -j %d: %w", eng, j, err)
+			}
+			if baseWall == 0 {
+				baseWall = cfg.WallNs
+			}
+			cfg.Speedup = float64(baseWall) / float64(cfg.WallNs)
+			art.Configs = append(art.Configs, cfg)
+			pts = append(pts, sched.SpeedupPoint{Jobs: j, Speedup: cfg.Speedup})
+			if verbose {
+				fmt.Fprintf(stderr, "[sweep %s -j %d: wall %v, speedup %.2fx, serial %.1f%%]\n",
+					eng, j, time.Duration(cfg.WallNs).Round(time.Millisecond),
+					cfg.Speedup, cfg.Analysis.SerialFrac*100)
+			}
+		}
+		art.Fits = append(art.Fits, sched.SweepFit{
+			Engine: eng.String(),
+			Points: pts,
+			Amdahl: sched.FitAmdahl(pts),
+			USL:    sched.FitUSL(pts),
+		})
+	}
+	if err := sched.ValidateSweep(art); err != nil {
+		return nil, fmt.Errorf("artifact failed self-validation: %w", err)
+	}
+	return art, nil
+}
+
+// runSweepCmd implements `synts sweep [flags]`. Workload knobs default to
+// the global flag values, so both `synts -size 1 sweep` and
+// `synts sweep -size 1` select the same workload.
+func runSweepCmd(args []string, stdout, stderr io.Writer) error {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	benchName := fs.String("bench", "radix", "benchmark kernel to sweep")
+	jlist := fs.String("jlist", defaultJList(), "comma-separated worker counts to measure")
+	engines := fs.String("engines", "levelized,event", "comma-separated timing engines to sweep")
+	sizeF := fs.Int("size", *size, "workload size knob")
+	seedF := fs.Int64("seed", *seed, "workload data seed")
+	threadsF := fs.Int("threads", *threads, "cores/threads")
+	ivF := fs.Int("intervals", *maxIv, "barrier intervals analysed")
+	out := fs.String("o", "sweep.json", "write the synts-sweep/v1 artifact to `file`")
+	reportOut := fs.String("report", "", "write the rendered report to `file` (default: stdout)")
+	verbose := fs.Bool("v", false, "print each configuration as it completes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	js, err := parseJList(*jlist)
+	if err != nil {
+		return err
+	}
+	engs, err := parseEngines(*engines)
+	if err != nil {
+		return err
+	}
+	opts := exp.DefaultOptions()
+	opts.Size = *sizeF
+	opts.Seed = *seedF
+	opts.Threads = *threadsF
+	opts.MaxIntervals = *ivF
+
+	art, err := runSweep(context.Background(), *benchName, js, engs, opts, *verbose, stderr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "wrote %d configurations to %s\n", len(art.Configs), *out)
+
+	rw := stdout
+	if *reportOut != "" {
+		rf, err := os.Create(*reportOut)
+		if err != nil {
+			return err
+		}
+		defer rf.Close()
+		rw = rf
+	}
+	sched.WriteReport(rw, art)
+	return nil
+}

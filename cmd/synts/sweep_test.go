@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"synts/internal/exp"
+	"synts/internal/sched"
+	"synts/internal/trace"
+)
+
+func TestParseJList(t *testing.T) {
+	got, err := parseJList("4, 1,2,2, 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []int{1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("parseJList = %v, want %v (sorted, deduped)", got, want)
+	}
+	for _, bad := range []string{"", "1", "0,2", "-1,2", "a,b"} {
+		if _, err := parseJList(bad); err == nil {
+			t.Errorf("parseJList(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseEngines(t *testing.T) {
+	got, err := parseEngines("levelized, event, levelized")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != trace.EngineLevelized || got[1] != trace.EngineEvent {
+		t.Fatalf("parseEngines = %v", got)
+	}
+	if _, err := parseEngines("warp"); err == nil {
+		t.Error("parseEngines accepted an unknown engine")
+	}
+	if _, err := parseEngines(" ,"); err == nil {
+		t.Error("parseEngines accepted an empty list")
+	}
+}
+
+// The sweep must produce an artifact that passes the same validation CI
+// applies (obscheck -sweep), including the 5% wall-clock reconciliation,
+// and a report that states the fitted serial fraction per engine.
+func TestRunSweepProducesValidArtifact(t *testing.T) {
+	defer trace.SetEngine(trace.CurrentEngine())
+	opts := exp.DefaultOptions()
+	opts.Size = 1
+	opts.MaxIntervals = 2
+	art, err := runSweep(context.Background(), "radix", []int{1, 2}, []trace.Engine{trace.EngineEvent}, opts, false, io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.ValidateSweep(art); err != nil {
+		t.Fatalf("sweep artifact fails validation: %v", err)
+	}
+	if len(art.Configs) != 2 {
+		t.Fatalf("%d configs, want 2", len(art.Configs))
+	}
+	for _, c := range art.Configs {
+		an := c.Analysis
+		if an.WorkerBusyNs <= 0 || an.ParallelNs <= 0 {
+			t.Errorf("%s -j %d: no parallel work attributed: %+v", c.Engine, c.Jobs, an)
+		}
+		if an.CriticalPathNs <= 0 || len(an.CriticalPath) == 0 {
+			t.Errorf("%s -j %d: no critical path reconstructed", c.Engine, c.Jobs)
+		}
+		if len(an.Stages) == 0 {
+			t.Errorf("%s -j %d: no per-stage totals", c.Engine, c.Jobs)
+		}
+	}
+	var sb strings.Builder
+	sched.WriteReport(&sb, art)
+	if !strings.Contains(sb.String(), "fitted serial fraction (Amdahl):") {
+		t.Errorf("report does not state the fitted serial fraction:\n%s", sb.String())
+	}
+}
+
+// The subcommand end to end: artifact file written and parseable, report
+// written to the requested file.
+func TestRunSweepCmd(t *testing.T) {
+	defer trace.SetEngine(trace.CurrentEngine())
+	dir := t.TempDir()
+	out := filepath.Join(dir, "sweep.json")
+	rep := filepath.Join(dir, "sweep.md")
+	args := []string{
+		"-bench", "radix", "-size", "1", "-intervals", "2",
+		"-jlist", "1,2", "-engines", "event",
+		"-o", out, "-report", rep,
+	}
+	if err := runSweepCmd(args, io.Discard, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var art sched.SweepArtifact
+	if err := json.Unmarshal(raw, &art); err != nil {
+		t.Fatalf("artifact is not valid JSON: %v", err)
+	}
+	if err := sched.ValidateSweep(&art); err != nil {
+		t.Fatalf("written artifact fails validation: %v", err)
+	}
+	if art.Meta.Bench != "radix" || art.Meta.Intervals != 2 {
+		t.Errorf("meta = %+v, want bench radix, 2 intervals", art.Meta)
+	}
+	repRaw, err := os.ReadFile(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(repRaw), "fitted serial fraction (Amdahl):") {
+		t.Errorf("report file does not state the fitted serial fraction")
+	}
+}

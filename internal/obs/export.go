@@ -29,17 +29,56 @@ type SpanSummary struct {
 	MaxNs   int64 `json:"max_ns"`
 }
 
+// RunMeta makes an artifact self-describing: the toolchain, platform and
+// run configuration that produced it. The runtime fields are filled by
+// NewRunMeta; the application fields (Engine, Seed, Size) are the
+// caller's, so every -stats-json snapshot and sweep artifact records the
+// exact configuration a dashboard needs to compare runs.
+type RunMeta struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	Engine     string `json:"engine,omitempty"`
+	Seed       int64  `json:"seed"`
+	Size       int    `json:"size"`
+}
+
+// NewRunMeta fills the runtime-derived meta fields; the caller sets the
+// application ones.
+func NewRunMeta() RunMeta {
+	return RunMeta{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+}
+
 // Snapshot is the machine-readable state of a registry, written by
 // -stats-json and rendered by the -stats table.
 type Snapshot struct {
 	Timestamp    string                 `json:"timestamp"`
 	GoMaxProcs   int                    `json:"gomaxprocs"`
+	Meta         *RunMeta               `json:"meta,omitempty"`
 	Counters     map[string]int64       `json:"counters"`
 	Gauges       map[string]float64     `json:"gauges"`
 	Histograms   map[string]HistSummary `json:"histograms"`
 	Spans        map[string]SpanSummary `json:"spans"`
 	Derived      map[string]float64     `json:"derived"`
 	SpansDropped int64                  `json:"spans_dropped,omitempty"`
+}
+
+// SetRunMeta attaches the self-describing meta block (see RunMeta); the
+// runtime fields are filled automatically.
+func (s *Snapshot) SetRunMeta(engine string, seed int64, size int) {
+	m := NewRunMeta()
+	m.Engine = engine
+	m.Seed = seed
+	m.Size = size
+	s.Meta = &m
 }
 
 // Snapshot digests the registry's current state.

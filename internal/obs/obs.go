@@ -62,6 +62,12 @@ type Registry struct {
 	epoch     time.Time
 	nextTID   atomic.Int64
 	startOnce sync.Once
+
+	// active tracks each goroutine's stack of open span IDs so pool
+	// submission sites can resolve the span that asked for the work
+	// (CurrentSpanID) without explicit plumbing.
+	activeMu sync.Mutex
+	active   map[int64][]int64
 }
 
 var defaultRegistry = NewRegistry()
@@ -75,6 +81,7 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counter),
 		gauges:   make(map[string]*Gauge),
 		hists:    make(map[string]*Histogram),
+		active:   make(map[int64][]int64),
 		epoch:    time.Now(),
 	}
 	return r
@@ -92,6 +99,9 @@ func (r *Registry) reset() {
 	r.dropped = 0
 	r.epoch = time.Now()
 	r.spanMu.Unlock()
+	r.activeMu.Lock()
+	r.active = make(map[int64][]int64)
+	r.activeMu.Unlock()
 	r.nextTID.Store(0)
 }
 

@@ -1,0 +1,145 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+// The span-DAG API: per-goroutine active-span stacks (CurrentSpanID),
+// pre-reserved span IDs for forward dependency edges, and the Submitter /
+// Deps fields the sched analyzer reconstructs the execution DAG from.
+
+func TestCurrentSpanIDTracksNesting(t *testing.T) {
+	Enable()
+	defer Disable()
+	if id := CurrentSpanID(); id != 0 {
+		t.Fatalf("CurrentSpanID with no open span = %d, want 0", id)
+	}
+	outer := StartSpan("outer")
+	if id := CurrentSpanID(); id != outer.ID() {
+		t.Fatalf("CurrentSpanID = %d, want outer %d", id, outer.ID())
+	}
+	inner := StartSpan("inner")
+	if id := CurrentSpanID(); id != inner.ID() {
+		t.Fatalf("CurrentSpanID = %d, want inner %d", id, inner.ID())
+	}
+	inner.End()
+	if id := CurrentSpanID(); id != outer.ID() {
+		t.Fatalf("CurrentSpanID after inner end = %d, want outer %d", id, outer.ID())
+	}
+	outer.End()
+	if id := CurrentSpanID(); id != 0 {
+		t.Fatalf("CurrentSpanID after all spans ended = %d, want 0", id)
+	}
+}
+
+func TestCurrentSpanIDIsPerGoroutine(t *testing.T) {
+	Enable()
+	defer Disable()
+	sp := StartSpan("main-only")
+	defer sp.End()
+	var got int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got = CurrentSpanID()
+	}()
+	wg.Wait()
+	if got != 0 {
+		t.Fatalf("another goroutine sees span %d, want 0 (stacks are per-goroutine)", got)
+	}
+}
+
+func TestReserveSpanIDAndStartSpanID(t *testing.T) {
+	Enable()
+	defer Disable()
+	a, b := ReserveSpanID(), ReserveSpanID()
+	if a == 0 || b == 0 || a == b {
+		t.Fatalf("reserved IDs %d, %d: want distinct non-zero", a, b)
+	}
+	// The second span starts first but records a forward edge to the
+	// first reserved ID — the analyzer only needs the records to agree.
+	sb := StartSpanID("second", b)
+	sb.DependsOn(a)
+	sb.End()
+	sa := StartSpanID("first", a)
+	sa.End()
+	recs, _ := Default().SpanRecords()
+	byName := map[string]SpanRecord{}
+	for _, r := range recs {
+		byName[r.Name] = r
+	}
+	if byName["first"].ID != a || byName["second"].ID != b {
+		t.Fatalf("records did not keep reserved IDs: %+v", recs)
+	}
+	if deps := byName["second"].Deps; len(deps) != 1 || deps[0] != a {
+		t.Fatalf("second.Deps = %v, want [%d]", deps, a)
+	}
+}
+
+func TestStartSpanIDZeroAllocatesFresh(t *testing.T) {
+	Enable()
+	defer Disable()
+	sp := StartSpanID("fresh", 0)
+	if sp.ID() == 0 {
+		t.Fatal("StartSpanID(name, 0) must allocate a real ID")
+	}
+	sp.End()
+}
+
+func TestSubmitterRecorded(t *testing.T) {
+	Enable()
+	defer Disable()
+	parent := StartSpan("submitting-stage")
+	pid := parent.ID()
+	task := StartSpan("task")
+	task.SetSubmitter(pid)
+	task.End()
+	parent.End()
+	recs, _ := Default().SpanRecords()
+	for _, r := range recs {
+		if r.Name == "task" {
+			if r.Submitter != pid {
+				t.Fatalf("task.Submitter = %d, want parent %d", r.Submitter, pid)
+			}
+			return
+		}
+	}
+	t.Fatal("task span not recorded")
+}
+
+func TestSpanDAGNilSafeWhenDisabled(t *testing.T) {
+	Disable()
+	if id := ReserveSpanID(); id != 0 {
+		t.Errorf("ReserveSpanID while disabled = %d, want 0", id)
+	}
+	if id := CurrentSpanID(); id != 0 {
+		t.Errorf("CurrentSpanID while disabled = %d, want 0", id)
+	}
+	sp := StartSpanID("off", 7)
+	sp.SetSubmitter(1)
+	sp.DependsOn(2, 3)
+	sp.End() // all no-ops on the nil span
+	if sp != nil {
+		t.Error("StartSpanID while disabled must return nil")
+	}
+}
+
+func TestDependsOnSkipsZeros(t *testing.T) {
+	Enable()
+	defer Disable()
+	sp := StartSpan("deps")
+	sp.DependsOn(0, 5, 0, 9)
+	sp.End()
+	recs, _ := Default().SpanRecords()
+	for _, r := range recs {
+		if r.Name == "deps" {
+			if len(r.Deps) != 2 || r.Deps[0] != 5 || r.Deps[1] != 9 {
+				t.Fatalf("Deps = %v, want [5 9] (zeros skipped)", r.Deps)
+			}
+			return
+		}
+	}
+	t.Fatal("span not recorded")
+}

@@ -146,8 +146,14 @@ func (g *Group) GoCtx(ctx context.Context, fn func() error) {
 
 func (g *Group) submit(cancel <-chan struct{}, cancelErr func() error, fn func() error) {
 	var submitted time.Time
+	var submitter int64
 	if obs.Enabled() {
 		submitted = time.Now()
+		// The innermost span open on the submitting goroutine is the
+		// pipeline stage that asked for this task; the task span records
+		// it as its Submitter attribution edge so the sched analyzer can
+		// group worker time under the stage that caused it.
+		submitter = obs.CurrentSpanID()
 		obs.C("pool.tasks.submitted").Add(1)
 	}
 	drop := func(failErr error) {
@@ -187,6 +193,7 @@ func (g *Group) submit(cancel <-chan struct{}, cancelErr func() error, fn func()
 		if obs.Enabled() {
 			sp = obs.StartSpan("pool.task")
 			sp.SetTID(g.tid0 + slot)
+			sp.SetSubmitter(submitter)
 			started = time.Now()
 		}
 		defer func() {

@@ -518,3 +518,51 @@ func TestStallWatchdogSilentUnderDeadline(t *testing.T) {
 		t.Errorf("watchdog fired for fast tasks:\n%.200s", out)
 	}
 }
+
+// Every pool task must record the span that was open on the submitting
+// goroutine as its Submitter attribution edge, so the sched analyzer can
+// group worker time under the pipeline stage that caused it.
+func TestTaskSubmitterEdge(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	stage := obs.StartSpan("pipeline.stage")
+	stageID := stage.ID()
+	g := New(2)
+	for i := 0; i < 4; i++ {
+		g.Go(func() error { return nil })
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	stage.End()
+	recs, _ := obs.Default().SpanRecords()
+	tasks := 0
+	for _, r := range recs {
+		if r.Name != "pool.task" {
+			continue
+		}
+		tasks++
+		if r.Submitter != stageID {
+			t.Errorf("task %d: Submitter = %d, want submitting span %d", r.ID, r.Submitter, stageID)
+		}
+	}
+	if tasks != 4 {
+		t.Fatalf("recorded %d pool.task spans, want 4", tasks)
+	}
+}
+
+// Without an open span on the submitting goroutine the edge is absent,
+// not garbage.
+func TestTaskSubmitterZeroWithoutSpan(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	if err := ForEach(2, 3, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	recs, _ := obs.Default().SpanRecords()
+	for _, r := range recs {
+		if r.Name == "pool.task" && r.Submitter != 0 {
+			t.Errorf("task %d: Submitter = %d, want 0 (no span was open)", r.ID, r.Submitter)
+		}
+	}
+}

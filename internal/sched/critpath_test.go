@@ -1,0 +1,158 @@
+package sched
+
+import (
+	"math"
+	"testing"
+
+	"synts/internal/obs"
+)
+
+// rec builds a SpanRecord for hand-built DAGs.
+func rec(name string, id int64, tid int, start, dur int64, deps ...int64) obs.SpanRecord {
+	return obs.SpanRecord{Name: name, ID: id, TID: tid, StartNs: start, DurNs: dur, Deps: deps}
+}
+
+func TestCriticalPathSerialChain(t *testing.T) {
+	// A -> B -> C, strictly sequential: the critical path is everything.
+	recs := []obs.SpanRecord{
+		rec("a", 1, 0, 0, 100),
+		rec("b", 2, 0, 100, 200, 1),
+		rec("c", 3, 0, 300, 300, 2),
+	}
+	a := Analyze(recs, Options{})
+	if a.CriticalPathNs != 600 {
+		t.Fatalf("critical path %d, want 600", a.CriticalPathNs)
+	}
+	if a.CriticalPathFrac != 1.0 {
+		t.Fatalf("critical path fraction %v, want 1.0 (fully serial chain)", a.CriticalPathFrac)
+	}
+	if len(a.CriticalPath) != 3 {
+		t.Fatalf("critical path has %d steps, want 3: %+v", len(a.CriticalPath), a.CriticalPath)
+	}
+	for i, want := range []string{"a", "b", "c"} {
+		if a.CriticalPath[i].Name != want {
+			t.Errorf("step %d = %q, want %q (dependency-first order)", i, a.CriticalPath[i].Name, want)
+		}
+	}
+	// No pool.task spans: everything is serial time.
+	if a.ParallelNs != 0 || a.SerialNs != 600 || a.SerialFrac != 1.0 {
+		t.Errorf("serial/parallel split = %d/%d (frac %v), want 600/0 (frac 1)",
+			a.SerialNs, a.ParallelNs, a.SerialFrac)
+	}
+}
+
+func TestCriticalPathForkJoin(t *testing.T) {
+	// setup -> {task1, task2 in parallel} -> join. The heavier branch
+	// (task2) carries the critical path.
+	recs := []obs.SpanRecord{
+		rec("setup", 1, 0, 0, 100),
+		rec(TaskSpanName, 2, 1, 100, 200, 1),
+		rec(TaskSpanName, 3, 2, 100, 250, 1),
+		rec("join", 4, 0, 350, 50, 2, 3),
+	}
+	a := Analyze(recs, Options{Workers: 2})
+	wantCP := int64(100 + 250 + 50)
+	if a.CriticalPathNs != wantCP {
+		t.Fatalf("critical path %d, want %d (setup -> heavier task -> join)", a.CriticalPathNs, wantCP)
+	}
+	names := []string{"setup", TaskSpanName, "join"}
+	if len(a.CriticalPath) != len(names) {
+		t.Fatalf("critical path %+v, want names %v", a.CriticalPath, names)
+	}
+	for i, want := range names {
+		if a.CriticalPath[i].Name != want {
+			t.Errorf("step %d = %q, want %q", i, a.CriticalPath[i].Name, want)
+		}
+	}
+	if a.CriticalPath[1].ID != 3 {
+		t.Errorf("critical path took task %d, want 3 (the 250ns branch)", a.CriticalPath[1].ID)
+	}
+	totalLinked := float64(100 + 200 + 250 + 50)
+	if want := float64(wantCP) / totalLinked; math.Abs(a.CriticalPathFrac-want) > 1e-12 {
+		t.Errorf("critical path fraction %v, want %v", a.CriticalPathFrac, want)
+	}
+
+	// Attribution: tasks cover [100,350) => parallel 250; the span
+	// timeline is [0,400) => serial 150.
+	if a.SpanWallNs != 400 {
+		t.Errorf("span wall %d, want 400", a.SpanWallNs)
+	}
+	if a.ParallelNs != 250 || a.SerialNs != 150 || a.AttributedNs != 400 {
+		t.Errorf("attribution serial=%d parallel=%d attributed=%d, want 150/250/400",
+			a.SerialNs, a.ParallelNs, a.AttributedNs)
+	}
+	// 2 workers over a 250ns parallel region: 450 busy, 50 idle.
+	if a.WorkerBusyNs != 450 || a.WorkerIdleNs != 50 {
+		t.Errorf("busy=%d idle=%d, want 450/50", a.WorkerBusyNs, a.WorkerIdleNs)
+	}
+}
+
+func TestAnalyzeStragglerAndStages(t *testing.T) {
+	// Three workers; worker 3 runs 4x longer than the others.
+	recs := []obs.SpanRecord{
+		rec(TaskSpanName, 1, 1, 0, 100),
+		rec(TaskSpanName, 2, 2, 0, 100),
+		rec(TaskSpanName, 3, 3, 0, 400),
+		rec("trace.interval_build:Decode", 4, 1, 0, 60),
+		rec("trace.interval_build:SimpleALU", 5, 2, 0, 70),
+	}
+	a := Analyze(recs, Options{Workers: 3, WallNs: 400, QueueWaitNs: 42})
+	if a.StragglerTID != 3 {
+		t.Errorf("straggler TID %d, want 3", a.StragglerTID)
+	}
+	// max 400 / mean 200 = 2.0
+	if math.Abs(a.ImbalanceMaxMean-2.0) > 1e-12 {
+		t.Errorf("imbalance %v, want 2.0", a.ImbalanceMaxMean)
+	}
+	if a.QueueWaitNs != 42 {
+		t.Errorf("queue wait %d, want 42 (passed through)", a.QueueWaitNs)
+	}
+	if len(a.WorkersDetail) != 3 || a.WorkersDetail[2].TID != 3 || a.WorkersDetail[2].BusyNs != 400 {
+		t.Errorf("workers detail %+v, want 3 rows sorted by TID", a.WorkersDetail)
+	}
+	// Both interval_build qualifiers aggregate under one stage.
+	var buildTot *StageTotal
+	for i := range a.Stages {
+		if a.Stages[i].Stage == "trace.interval_build" {
+			buildTot = &a.Stages[i]
+		}
+	}
+	if buildTot == nil || buildTot.Count != 2 || buildTot.TotalNs != 130 {
+		t.Errorf("interval_build stage = %+v, want count 2 total 130", buildTot)
+	}
+	// Workers=3, parallel=400 => capacity 1200, busy 600, idle 600.
+	if a.WorkerBusyNs != 600 || a.WorkerIdleNs != 600 {
+		t.Errorf("busy=%d idle=%d, want 600/600", a.WorkerBusyNs, a.WorkerIdleNs)
+	}
+}
+
+func TestAnalyzeEmptyAndCycle(t *testing.T) {
+	a := Analyze(nil, Options{WallNs: 123})
+	if a.WallNs != 123 || a.CriticalPathNs != 0 {
+		t.Errorf("empty analysis = %+v, want wall 123, no critical path", a)
+	}
+
+	// A cycle (which a correct producer never emits) must not hang or
+	// blow the stack; the closing edge is ignored.
+	recs := []obs.SpanRecord{
+		rec("a", 1, 0, 0, 100, 2),
+		rec("b", 2, 0, 100, 200, 1),
+	}
+	a = Analyze(recs, Options{})
+	if a.CriticalPathNs != 300 {
+		t.Errorf("cycle-broken critical path %d, want 300 (one edge ignored)", a.CriticalPathNs)
+	}
+}
+
+func TestStageOf(t *testing.T) {
+	for name, want := range map[string]string{
+		"trace.interval_build:SimpleALU": "trace.interval_build",
+		"trace.seek_pc":                  "trace.seek_pc",
+		"pool.task":                      "pool.task",
+		"exp.run:SynTS-Poly:radix":       "exp.run",
+	} {
+		if got := StageOf(name); got != want {
+			t.Errorf("StageOf(%q) = %q, want %q", name, got, want)
+		}
+	}
+}

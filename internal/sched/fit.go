@@ -1,0 +1,139 @@
+package sched
+
+import "math"
+
+// The scaling-law fits: measured speedup points S(j) from the sweep are
+// fit to Amdahl's law, which explains shortfall purely as a serial
+// fraction, and to Gunther's Universal Scalability Law, which separates
+// contention (σ, queue-for-shared-resource, Amdahl-like) from coherency
+// (κ, pairwise-exchange cost that makes throughput *retrograde* at high
+// j). Comparing the two fits tells you whether adding workers stopped
+// helping because of leftover serial work or because of coordination
+// cost — exactly the pool-overhead vs compute split the event engine's
+// 13x-shorter tasks made matter.
+//
+// Both fits minimise squared error on a deterministic coarse-to-fine grid
+// (no RNG, no external solver): the parameter spaces are tiny ([0,1] for
+// s and σ, [0,1] for κ) and the objective is cheap, so three refinement
+// rounds give ~1e-6 resolution.
+
+// SpeedupPoint is one measured configuration of the sweep.
+type SpeedupPoint struct {
+	Jobs    int     `json:"jobs"`
+	Speedup float64 `json:"speedup"`
+}
+
+// AmdahlSpeedup evaluates Amdahl's law S(j) = 1 / (s + (1-s)/j) for
+// serial fraction s.
+func AmdahlSpeedup(s float64, j int) float64 {
+	if j <= 0 {
+		return 0
+	}
+	den := s + (1-s)/float64(j)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return 1 / den
+}
+
+// USLSpeedup evaluates the Universal Scalability Law
+// S(j) = j / (1 + σ(j-1) + κ·j(j-1)).
+func USLSpeedup(sigma, kappa float64, j int) float64 {
+	if j <= 0 {
+		return 0
+	}
+	fj := float64(j)
+	den := 1 + sigma*(fj-1) + kappa*fj*(fj-1)
+	if den <= 0 {
+		return math.Inf(1)
+	}
+	return fj / den
+}
+
+// AmdahlFit is a fitted Amdahl model.
+type AmdahlFit struct {
+	SerialFrac float64 `json:"serial_fraction"`
+	RMSE       float64 `json:"rmse"`
+}
+
+// USLFit is a fitted Universal Scalability Law model.
+type USLFit struct {
+	Sigma float64 `json:"sigma"` // contention (serial-fraction-like)
+	Kappa float64 `json:"kappa"` // coherency (crosstalk; retrograde scaling)
+	RMSE  float64 `json:"rmse"`
+}
+
+// rmse returns the root-mean-square error of model over the points.
+func rmse(points []SpeedupPoint, model func(j int) float64) float64 {
+	if len(points) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, p := range points {
+		d := model(p.Jobs) - p.Speedup
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(len(points)))
+}
+
+// gridMin1 minimises f over [lo, hi] by three rounds of 1-D grid
+// refinement (deterministic; ~ (hi-lo)·1e-6 resolution).
+func gridMin1(lo, hi float64, f func(x float64) float64) float64 {
+	const steps = 200
+	best, bestV := lo, math.Inf(1)
+	for round := 0; round < 3; round++ {
+		step := (hi - lo) / steps
+		for i := 0; i <= steps; i++ {
+			x := lo + float64(i)*step
+			if v := f(x); v < bestV {
+				bestV, best = v, x
+			}
+		}
+		lo, hi = math.Max(lo, best-step), math.Min(hi, best+step)
+	}
+	return best
+}
+
+// FitAmdahl fits the serial fraction s ∈ [0,1] to the measured speedups
+// by least squares.
+func FitAmdahl(points []SpeedupPoint) AmdahlFit {
+	obj := func(s float64) float64 {
+		return rmse(points, func(j int) float64 { return AmdahlSpeedup(s, j) })
+	}
+	s := gridMin1(0, 1, obj)
+	return AmdahlFit{SerialFrac: s, RMSE: obj(s)}
+}
+
+// gridMin2 minimises f over [lo1,hi1]×[lo2,hi2] by four rounds of 2-D
+// grid refinement. The full-grid coarse pass matters: σ and κ are
+// strongly correlated (both multiply (j-1) terms), so alternating 1-D
+// sweeps stall on the diagonal ridge of the objective.
+func gridMin2(lo1, hi1, lo2, hi2 float64, f func(x, y float64) float64) (float64, float64) {
+	const steps = 100
+	best1, best2, bestV := lo1, lo2, math.Inf(1)
+	for round := 0; round < 4; round++ {
+		s1 := (hi1 - lo1) / steps
+		s2 := (hi2 - lo2) / steps
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				x, y := lo1+float64(i)*s1, lo2+float64(j)*s2
+				if v := f(x, y); v < bestV {
+					bestV, best1, best2 = v, x, y
+				}
+			}
+		}
+		lo1, hi1 = math.Max(lo1, best1-s1), math.Min(hi1, best1+s1)
+		lo2, hi2 = math.Max(lo2, best2-s2), math.Min(hi2, best2+s2)
+	}
+	return best1, best2
+}
+
+// FitUSL fits σ, κ ∈ [0,1] to the measured speedups by least squares on
+// a refined 2-D grid.
+func FitUSL(points []SpeedupPoint) USLFit {
+	obj := func(sigma, kappa float64) float64 {
+		return rmse(points, func(j int) float64 { return USLSpeedup(sigma, kappa, j) })
+	}
+	sigma, kappa := gridMin2(0, 1, 0, 1, obj)
+	return USLFit{Sigma: sigma, Kappa: kappa, RMSE: obj(sigma, kappa)}
+}

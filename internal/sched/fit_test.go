@@ -1,0 +1,79 @@
+package sched
+
+import (
+	"math"
+	"testing"
+)
+
+// synthetic builds speedup points from a model over the given -j values.
+func synthetic(js []int, model func(j int) float64) []SpeedupPoint {
+	pts := make([]SpeedupPoint, len(js))
+	for i, j := range js {
+		pts[i] = SpeedupPoint{Jobs: j, Speedup: model(j)}
+	}
+	return pts
+}
+
+func TestFitAmdahlRecoversSerialFraction(t *testing.T) {
+	js := []int{1, 2, 4, 8, 16}
+	for _, s := range []float64{0, 0.05, 0.1, 0.3, 0.9} {
+		pts := synthetic(js, func(j int) float64 { return AmdahlSpeedup(s, j) })
+		fit := FitAmdahl(pts)
+		if math.Abs(fit.SerialFrac-s) > 1e-3 {
+			t.Errorf("s=%v: fitted %v", s, fit.SerialFrac)
+		}
+		if fit.RMSE > 1e-3 {
+			t.Errorf("s=%v: rmse %v on noise-free data", s, fit.RMSE)
+		}
+	}
+}
+
+func TestFitAmdahlPerfectScaling(t *testing.T) {
+	pts := synthetic([]int{1, 2, 4, 8}, func(j int) float64 { return float64(j) })
+	fit := FitAmdahl(pts)
+	if fit.SerialFrac > 1e-6 {
+		t.Errorf("linear speedup fitted serial fraction %v, want ~0", fit.SerialFrac)
+	}
+}
+
+func TestFitUSLRecoversParameters(t *testing.T) {
+	js := []int{1, 2, 4, 8, 16, 32}
+	cases := []struct{ sigma, kappa float64 }{
+		{0.05, 0},
+		{0.1, 0.01},
+		{0, 0.02},
+	}
+	for _, c := range cases {
+		pts := synthetic(js, func(j int) float64 { return USLSpeedup(c.sigma, c.kappa, j) })
+		fit := FitUSL(pts)
+		if fit.RMSE > 1e-3 {
+			t.Errorf("σ=%v κ=%v: rmse %v on noise-free data (fit σ=%v κ=%v)",
+				c.sigma, c.kappa, fit.RMSE, fit.Sigma, fit.Kappa)
+		}
+		if math.Abs(fit.Sigma-c.sigma) > 5e-3 || math.Abs(fit.Kappa-c.kappa) > 5e-3 {
+			t.Errorf("σ=%v κ=%v: fitted σ=%v κ=%v", c.sigma, c.kappa, fit.Sigma, fit.Kappa)
+		}
+	}
+}
+
+func TestUSLRetrogradeScaling(t *testing.T) {
+	// With κ > 0 the USL predicts throughput *decline* past the peak —
+	// the property that distinguishes coherency cost from a serial
+	// fraction, which only saturates.
+	if s32, s64 := USLSpeedup(0.05, 0.01, 32), USLSpeedup(0.05, 0.01, 64); s64 >= s32 {
+		t.Errorf("USL(64)=%v >= USL(32)=%v, want retrograde decline", s64, s32)
+	}
+	if a32, a64 := AmdahlSpeedup(0.05, 32), AmdahlSpeedup(0.05, 64); a64 < a32 {
+		t.Errorf("Amdahl(64)=%v < Amdahl(32)=%v, Amdahl never declines", a64, a32)
+	}
+}
+
+func TestFitUSLOnAmdahlDataFindsNoCoherency(t *testing.T) {
+	// Pure-Amdahl data has no pairwise-exchange term; the USL fit should
+	// discover κ ≈ 0 rather than inventing coherency cost.
+	pts := synthetic([]int{1, 2, 4, 8, 16}, func(j int) float64 { return AmdahlSpeedup(0.2, j) })
+	fit := FitUSL(pts)
+	if fit.Kappa > 1e-3 {
+		t.Errorf("κ=%v on pure-Amdahl data, want ~0 (σ=%v)", fit.Kappa, fit.Sigma)
+	}
+}

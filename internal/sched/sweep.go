@@ -1,0 +1,270 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"time"
+
+	"synts/internal/obs"
+)
+
+// SweepSchema versions the `synts sweep` artifact; obscheck -sweep and any
+// dashboard key on it.
+const SweepSchema = "synts-sweep/v1"
+
+// SweepMeta makes the artifact self-describing: the platform block shared
+// with -stats-json plus the sweep's own workload coordinates.
+type SweepMeta struct {
+	obs.RunMeta
+	Timestamp string   `json:"timestamp"`
+	Bench     string   `json:"bench"`
+	Threads   int      `json:"threads"`
+	Intervals int      `json:"intervals"`
+	Stages    []string `json:"stages"`
+	Engines   []string `json:"engines"`
+	Jobs      []int    `json:"jobs"`
+}
+
+// SweepConfig is one measured (engine, -j) cell of the matrix.
+type SweepConfig struct {
+	Engine   string    `json:"engine"`
+	Jobs     int       `json:"jobs"`
+	WallNs   int64     `json:"wall_ns"`
+	Speedup  float64   `json:"speedup"` // wall(smallest j, same engine) / wall(this j)
+	Analysis *Analysis `json:"analysis"`
+}
+
+// SweepFit is one engine's fitted scaling models over its speedup points.
+type SweepFit struct {
+	Engine string         `json:"engine"`
+	Points []SpeedupPoint `json:"points"`
+	Amdahl AmdahlFit      `json:"amdahl"`
+	USL    USLFit         `json:"usl"`
+}
+
+// SweepArtifact is the schema-versioned result of one `synts sweep` run.
+type SweepArtifact struct {
+	Schema  string        `json:"schema"`
+	Meta    SweepMeta     `json:"meta"`
+	Configs []SweepConfig `json:"configs"`
+	Fits    []SweepFit    `json:"fits"`
+}
+
+// ReconcileTolerance is the fraction of measured wall clock by which the
+// span-derived attribution may disagree with it (the acceptance bound:
+// dropped spans or unspanned work beyond this fails validation).
+const ReconcileTolerance = 0.05
+
+// slackNs absorbs clock granularity on very short runs when a relative
+// tolerance alone would be unreasonably tight.
+const slackNs = int64(2 * time.Millisecond)
+
+// ValidateSweep enforces the synts-sweep/v1 contract: schema and meta
+// presence, per-engine strictly increasing distinct -j points normalised
+// to speedup 1 at the smallest, wall-clock attribution reconciling within
+// ReconcileTolerance, per-stage span sums consistent with worker-busy and
+// pool capacity, and a fit per engine with parameters in range.
+func ValidateSweep(a *SweepArtifact) error {
+	if a.Schema != SweepSchema {
+		return fmt.Errorf("schema %q, want %q", a.Schema, SweepSchema)
+	}
+	m := &a.Meta
+	if m.GoVersion == "" || m.GOOS == "" || m.GOARCH == "" {
+		return fmt.Errorf("meta is missing the toolchain/platform block: %+v", m)
+	}
+	if m.GoMaxProcs < 1 || m.NumCPU < 1 {
+		return fmt.Errorf("meta has implausible gomaxprocs=%d num_cpu=%d", m.GoMaxProcs, m.NumCPU)
+	}
+	if m.Bench == "" || m.Threads < 1 || m.Intervals < 1 || len(m.Stages) == 0 {
+		return fmt.Errorf("meta is missing the workload coordinates: %+v", m)
+	}
+	if len(a.Configs) == 0 {
+		return fmt.Errorf("no configs")
+	}
+
+	byEngine := map[string][]SweepConfig{}
+	for i, c := range a.Configs {
+		if c.Engine == "" {
+			return fmt.Errorf("config %d: empty engine", i)
+		}
+		if c.Jobs < 1 {
+			return fmt.Errorf("config %d (%s): jobs %d < 1", i, c.Engine, c.Jobs)
+		}
+		if c.WallNs <= 0 {
+			return fmt.Errorf("config %d (%s j=%d): wall_ns %d <= 0", i, c.Engine, c.Jobs, c.WallNs)
+		}
+		if c.Analysis == nil {
+			return fmt.Errorf("config %d (%s j=%d): missing analysis", i, c.Engine, c.Jobs)
+		}
+		if err := validateAnalysis(c); err != nil {
+			return fmt.Errorf("config %s j=%d: %w", c.Engine, c.Jobs, err)
+		}
+		byEngine[c.Engine] = append(byEngine[c.Engine], c)
+	}
+
+	for eng, cfgs := range byEngine {
+		if len(cfgs) < 2 {
+			return fmt.Errorf("engine %s: %d -j point(s), want at least 2", eng, len(cfgs))
+		}
+		for i := 1; i < len(cfgs); i++ {
+			if cfgs[i].Jobs <= cfgs[i-1].Jobs {
+				return fmt.Errorf("engine %s: -j points not strictly increasing (%d after %d)",
+					eng, cfgs[i].Jobs, cfgs[i-1].Jobs)
+			}
+		}
+		if d := math.Abs(cfgs[0].Speedup - 1); d > 1e-9 {
+			return fmt.Errorf("engine %s: smallest -j point has speedup %v, want 1", eng, cfgs[0].Speedup)
+		}
+		for _, c := range cfgs {
+			if c.Speedup <= 0 || math.IsNaN(c.Speedup) || math.IsInf(c.Speedup, 0) {
+				return fmt.Errorf("engine %s j=%d: implausible speedup %v", eng, c.Jobs, c.Speedup)
+			}
+		}
+	}
+
+	fitEngines := map[string]bool{}
+	for _, f := range a.Fits {
+		fitEngines[f.Engine] = true
+		if f.Amdahl.SerialFrac < 0 || f.Amdahl.SerialFrac > 1 {
+			return fmt.Errorf("fit %s: Amdahl serial fraction %v outside [0,1]", f.Engine, f.Amdahl.SerialFrac)
+		}
+		if f.USL.Sigma < 0 || f.USL.Sigma > 1 || f.USL.Kappa < 0 || f.USL.Kappa > 1 {
+			return fmt.Errorf("fit %s: USL parameters σ=%v κ=%v outside [0,1]", f.Engine, f.USL.Sigma, f.USL.Kappa)
+		}
+		if f.Amdahl.RMSE < 0 || f.USL.RMSE < 0 {
+			return fmt.Errorf("fit %s: negative rmse", f.Engine)
+		}
+		if len(f.Points) != len(byEngine[f.Engine]) {
+			return fmt.Errorf("fit %s: %d points for %d configs", f.Engine, len(f.Points), len(byEngine[f.Engine]))
+		}
+	}
+	for eng := range byEngine {
+		if !fitEngines[eng] {
+			return fmt.Errorf("engine %s has configs but no fit", eng)
+		}
+	}
+	return nil
+}
+
+// validateAnalysis checks one config's attribution against its measured
+// wall clock: the span-derived attribution must reconcile with the
+// independent wall measurement within ReconcileTolerance, capacity splits
+// must be internally consistent, and the per-stage span sums must not
+// exceed what the pool could have executed.
+func validateAnalysis(c SweepConfig) error {
+	an := c.Analysis
+	if an.Workers != c.Jobs {
+		return fmt.Errorf("analysis ran with %d workers, config says %d", an.Workers, c.Jobs)
+	}
+	if an.SerialNs < 0 || an.ParallelNs < 0 {
+		return fmt.Errorf("negative serial/parallel attribution: %+v", an)
+	}
+	if an.AttributedNs != an.SerialNs+an.ParallelNs {
+		return fmt.Errorf("attributed %d != serial %d + parallel %d", an.AttributedNs, an.SerialNs, an.ParallelNs)
+	}
+	if an.SerialFrac < 0 || an.SerialFrac > 1 {
+		return fmt.Errorf("serial fraction %v outside [0,1]", an.SerialFrac)
+	}
+	// The reconciliation with teeth: attribution comes from span records,
+	// wall from an independent timer.
+	tol := int64(ReconcileTolerance*float64(c.WallNs)) + slackNs
+	if d := an.AttributedNs - c.WallNs; d > tol || d < -tol {
+		return fmt.Errorf("attributed %s does not reconcile with measured wall %s (tolerance %s)",
+			time.Duration(an.AttributedNs), time.Duration(c.WallNs), time.Duration(tol))
+	}
+	// Capacity: Workers × Parallel = Busy + Idle, and busy cannot exceed
+	// what j workers could execute inside the wall clock.
+	capacity := int64(an.Workers) * an.ParallelNs
+	if an.WorkerBusyNs+an.WorkerIdleNs > capacity+slackNs {
+		return fmt.Errorf("busy %d + idle %d exceeds capacity %d", an.WorkerBusyNs, an.WorkerIdleNs, capacity)
+	}
+	if an.WorkerBusyNs > int64(an.Workers)*c.WallNs+int64(an.Workers)*slackNs {
+		return fmt.Errorf("worker busy %s exceeds %d × wall %s",
+			time.Duration(an.WorkerBusyNs), an.Workers, time.Duration(c.WallNs))
+	}
+	// Per-stage sums: children stay within their parents, task-side
+	// stages stay within worker-busy, and everything stays within pool
+	// capacity over the wall clock.
+	tot := map[string]int64{}
+	for _, s := range an.Stages {
+		if s.TotalNs < 0 {
+			return fmt.Errorf("stage %s: negative total", s.Stage)
+		}
+		tot[s.Stage] = s.TotalNs
+	}
+	build := tot["trace.interval_build"]
+	if s := tot["trace.seek_pc"] + tot["trace.delay_trace"]; s > build+slackNs {
+		return fmt.Errorf("seek_pc+delay_trace %s exceeds interval_build %s",
+			time.Duration(s), time.Duration(build))
+	}
+	if s := build + tot["trace.cpi_measure"]; s > an.WorkerBusyNs+slackNs {
+		return fmt.Errorf("task-side stage sum %s exceeds worker busy %s",
+			time.Duration(s), time.Duration(an.WorkerBusyNs))
+	}
+	if tt := tot[TaskSpanName]; tt != an.WorkerBusyNs {
+		return fmt.Errorf("pool.task stage total %d != worker busy %d", tt, an.WorkerBusyNs)
+	}
+	return nil
+}
+
+// fmtDur renders a nanosecond count compactly for the report.
+func fmtDur(ns int64) string {
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}
+
+// WriteReport renders the human-facing sweep report (markdown-flavoured
+// text): per engine, the measured matrix with wall-clock attribution, the
+// fitted serial fraction (Amdahl) and contention/coherency split (USL),
+// and the straggler picture.
+func WriteReport(w io.Writer, a *SweepArtifact) {
+	m := &a.Meta
+	fmt.Fprintf(w, "# synts sweep — scaling & attribution\n\n")
+	fmt.Fprintf(w, "workload: %s (size %d, seed %d, %d threads × %d intervals, stages %v)\n",
+		m.Bench, m.Size, m.Seed, m.Threads, m.Intervals, m.Stages)
+	fmt.Fprintf(w, "platform: %s %s/%s, GOMAXPROCS=%d, NumCPU=%d\n",
+		m.GoVersion, m.GOOS, m.GOARCH, m.GoMaxProcs, m.NumCPU)
+
+	engines := make([]string, 0, len(a.Fits))
+	for _, f := range a.Fits {
+		engines = append(engines, f.Engine)
+	}
+	sort.Strings(engines)
+	fitByEngine := map[string]SweepFit{}
+	for _, f := range a.Fits {
+		fitByEngine[f.Engine] = f
+	}
+	for _, eng := range engines {
+		fmt.Fprintf(w, "\n## engine %s\n\n", eng)
+		fmt.Fprintf(w, "| j | wall | speedup | ideal | serial | critical path | busy/worker | idle/worker | queue wait | imbalance |\n")
+		fmt.Fprintf(w, "|---|------|---------|-------|--------|---------------|-------------|-------------|------------|-----------|\n")
+		for _, c := range a.Configs {
+			if c.Engine != eng {
+				continue
+			}
+			an := c.Analysis
+			busyPer, idlePer := int64(0), int64(0)
+			if an.Workers > 0 {
+				busyPer = an.WorkerBusyNs / int64(an.Workers)
+				idlePer = an.WorkerIdleNs / int64(an.Workers)
+			}
+			fmt.Fprintf(w, "| %d | %s | %.2fx | %dx | %.1f%% | %s | %s | %s | %s | %.2f |\n",
+				c.Jobs, fmtDur(c.WallNs), c.Speedup, c.Jobs,
+				an.SerialFrac*100, fmtDur(an.CriticalPathNs),
+				fmtDur(busyPer), fmtDur(idlePer), fmtDur(an.QueueWaitNs),
+				an.ImbalanceMaxMean)
+		}
+		if f, ok := fitByEngine[eng]; ok {
+			fmt.Fprintf(w, "\nfitted serial fraction (Amdahl): %.3f (rmse %.3f)\n", f.Amdahl.SerialFrac, f.Amdahl.RMSE)
+			fmt.Fprintf(w, "fitted contention σ=%.3f, coherency κ=%.4f (USL, rmse %.3f)\n", f.USL.Sigma, f.USL.Kappa, f.USL.RMSE)
+			if f.USL.RMSE < f.Amdahl.RMSE {
+				fmt.Fprintf(w, "USL fits better: scaling loss includes contention/coherency beyond a pure serial fraction\n")
+			} else {
+				fmt.Fprintf(w, "Amdahl fits at least as well: scaling loss is explained by the serial fraction alone\n")
+			}
+		}
+	}
+	fmt.Fprintf(w, "\nattribution identity per config: wall ≈ serial + parallel; workers × parallel = busy + idle (reconciled within %.0f%%)\n",
+		ReconcileTolerance*100)
+}

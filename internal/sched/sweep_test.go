@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"synts/internal/obs"
+)
+
+// validConfig fabricates one internally consistent sweep cell: attribution
+// reconciles exactly, workers are fully busy, and the stage sums respect
+// the containment rules the validator enforces.
+func validConfig(engine string, jobs int, wallNs int64, speedup float64) SweepConfig {
+	parallel := wallNs * 3 / 4
+	serial := wallNs - parallel
+	busy := int64(jobs) * parallel
+	an := &Analysis{
+		WallNs:       wallNs,
+		SpanWallNs:   wallNs,
+		SerialNs:     serial,
+		ParallelNs:   parallel,
+		AttributedNs: wallNs,
+		SerialFrac:   float64(serial) / float64(wallNs),
+		Workers:      jobs,
+		WorkerBusyNs: busy,
+		WorkerIdleNs: 0,
+		Stages: []StageTotal{
+			{Stage: TaskSpanName, Count: 4, TotalNs: busy},
+			{Stage: "trace.interval_build", Count: 4, TotalNs: busy / 2},
+			{Stage: "trace.seek_pc", Count: 4, TotalNs: busy / 8},
+			{Stage: "trace.delay_trace", Count: 4, TotalNs: busy / 8},
+			{Stage: "trace.cpi_measure", Count: 4, TotalNs: busy / 4},
+		},
+	}
+	return SweepConfig{Engine: engine, Jobs: jobs, WallNs: wallNs, Speedup: speedup, Analysis: an}
+}
+
+func validArtifact() *SweepArtifact {
+	meta := SweepMeta{
+		RunMeta:   obs.NewRunMeta(),
+		Timestamp: "2026-01-01T00:00:00Z",
+		Bench:     "radix",
+		Threads:   4,
+		Intervals: 3,
+		Stages:    []string{"SimpleALU", "Decode"},
+		Engines:   []string{"levelized", "event"},
+		Jobs:      []int{1, 2},
+	}
+	meta.Seed = 2016
+	meta.Size = 1
+	a := &SweepArtifact{Schema: SweepSchema, Meta: meta}
+	for _, eng := range []string{"levelized", "event"} {
+		c1 := validConfig(eng, 1, 1_000_000_000, 1)
+		c2 := validConfig(eng, 2, 600_000_000, float64(c1.WallNs)/600_000_000)
+		a.Configs = append(a.Configs, c1, c2)
+		pts := []SpeedupPoint{{Jobs: 1, Speedup: c1.Speedup}, {Jobs: 2, Speedup: c2.Speedup}}
+		a.Fits = append(a.Fits, SweepFit{Engine: eng, Points: pts, Amdahl: FitAmdahl(pts), USL: FitUSL(pts)})
+	}
+	return a
+}
+
+func TestValidateSweepAcceptsValidArtifact(t *testing.T) {
+	if err := ValidateSweep(validArtifact()); err != nil {
+		t.Fatalf("valid artifact rejected: %v", err)
+	}
+}
+
+func TestValidateSweepRejections(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(a *SweepArtifact)
+		wantErr string
+	}{
+		{"wrong schema", func(a *SweepArtifact) { a.Schema = "synts-sweep/v0" }, "schema"},
+		{"missing platform meta", func(a *SweepArtifact) { a.Meta.GoVersion = "" }, "platform"},
+		{"missing workload meta", func(a *SweepArtifact) { a.Meta.Bench = "" }, "workload"},
+		{"no configs", func(a *SweepArtifact) { a.Configs = nil }, "no configs"},
+		{"single j point", func(a *SweepArtifact) {
+			a.Configs = a.Configs[:1]
+			a.Fits = a.Fits[:1]
+			a.Fits[0].Points = a.Fits[0].Points[:1]
+		}, "at least 2"},
+		{"non-monotonic j", func(a *SweepArtifact) {
+			a.Configs[1] = validConfig("levelized", 1, 600_000_000, 1.5)
+		}, "strictly increasing"},
+		{"baseline speedup not 1", func(a *SweepArtifact) { a.Configs[0].Speedup = 1.5 }, "want 1"},
+		{"zero wall", func(a *SweepArtifact) { a.Configs[0].WallNs = 0 }, "wall_ns"},
+		{"missing analysis", func(a *SweepArtifact) { a.Configs[0].Analysis = nil }, "missing analysis"},
+		{"workers mismatch", func(a *SweepArtifact) { a.Configs[0].Analysis.Workers = 7 }, "workers"},
+		{"attribution gap beyond 5%", func(a *SweepArtifact) {
+			an := a.Configs[0].Analysis
+			an.SerialNs += 100_000_000 // 10% of the 1s wall
+			an.AttributedNs += 100_000_000
+		}, "reconcile"},
+		{"attribution identity broken", func(a *SweepArtifact) {
+			a.Configs[0].Analysis.AttributedNs += 5
+		}, "serial"},
+		{"seek+delay exceed build", func(a *SweepArtifact) {
+			an := a.Configs[0].Analysis
+			for i := range an.Stages {
+				if an.Stages[i].Stage == "trace.seek_pc" {
+					an.Stages[i].TotalNs = an.WorkerBusyNs
+				}
+			}
+		}, "interval_build"},
+		{"task total != busy", func(a *SweepArtifact) {
+			an := a.Configs[0].Analysis
+			for i := range an.Stages {
+				if an.Stages[i].Stage == TaskSpanName {
+					an.Stages[i].TotalNs -= 12345
+				}
+			}
+		}, "worker busy"},
+		{"missing fit", func(a *SweepArtifact) { a.Fits = a.Fits[:1] }, "no fit"},
+		{"serial fraction out of range", func(a *SweepArtifact) { a.Fits[0].Amdahl.SerialFrac = 1.5 }, "[0,1]"},
+		{"fit point count mismatch", func(a *SweepArtifact) {
+			a.Fits[0].Points = a.Fits[0].Points[:1]
+		}, "points"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := validArtifact()
+			tc.mutate(a)
+			err := ValidateSweep(a)
+			if err == nil {
+				t.Fatalf("mutation %q passed validation", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("mutation %q: error %q does not mention %q", tc.name, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestWriteReportStatesSerialFractionPerEngine(t *testing.T) {
+	var sb strings.Builder
+	WriteReport(&sb, validArtifact())
+	out := sb.String()
+	for _, want := range []string{
+		"## engine levelized",
+		"## engine event",
+		"radix",
+		"| 1 |", "| 2 |",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if n := strings.Count(out, "fitted serial fraction (Amdahl):"); n != 2 {
+		t.Errorf("report states the fitted serial fraction %d times, want once per engine (2):\n%s", n, out)
+	}
+}

@@ -460,9 +460,24 @@ func BuildProfilesScopedCtx(ctx context.Context, kernel string, streams []*workl
 	defer obs.StartSpan("trace.build_profiles:" + stage.String()).End()
 	out := make([][]*Profile, len(streams))
 	cpis := make([][]float64, len(streams))
+	// Span IDs for the whole (thread, interval) grid are reserved up front
+	// so each interval-build span can record a happens-before edge to the
+	// same thread's previous interval — the program-order dependence SeekPC
+	// breaks for scheduling purposes, preserved for the sched analyzer's
+	// critical-path reconstruction. Nil (and free) while obs is off.
+	var ivSpanIDs [][]int64
+	if obs.Enabled() {
+		ivSpanIDs = make([][]int64, len(streams))
+	}
 	for t, s := range streams {
 		out[t] = make([]*Profile, len(s.Intervals))
 		cpis[t] = make([]float64, len(s.Intervals))
+		if ivSpanIDs != nil {
+			ivSpanIDs[t] = make([]int64, len(s.Intervals))
+			for ii := range s.Intervals {
+				ivSpanIDs[t][ii] = obs.ReserveSpanID()
+			}
+		}
 	}
 	g := pool.New(workers)
 	for t, s := range streams {
@@ -482,7 +497,15 @@ func BuildProfilesScopedCtx(ctx context.Context, kernel string, streams []*workl
 		})
 		for ii := range s.Intervals {
 			g.GoCtx(ctx, func() error {
-				bsp := obs.StartSpan("trace.interval_build:" + stage.String())
+				var sid, dep int64
+				if ivSpanIDs != nil {
+					sid = ivSpanIDs[t][ii]
+					if ii > 0 {
+						dep = ivSpanIDs[t][ii-1]
+					}
+				}
+				bsp := obs.StartSpanID("trace.interval_build:"+stage.String(), sid)
+				bsp.DependsOn(dep)
 				defer bsp.End()
 				sc := NewStageCircuit(stage)
 				ssp := bsp.Child("trace.seek_pc")

@@ -558,3 +558,57 @@ func TestParseEngine(t *testing.T) {
 		t.Error("default engine is not event")
 	}
 }
+
+// BuildProfiles must wire each (thread, interval) build span to the same
+// thread's previous interval via a happens-before Deps edge — the logical
+// program order SeekPC breaks for scheduling, preserved so the sched
+// analyzer can reconstruct per-thread chains and the critical path.
+func TestBuildProfilesDepEdges(t *testing.T) {
+	k, err := workload.ByName("radix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := workload.RunKernel(k, 4, 1, 42)
+	nThreads := len(streams)
+	nIv := 0
+	for _, s := range streams {
+		nIv += len(s.Intervals)
+	}
+	obs.Enable()
+	defer obs.Disable()
+	if _, err := BuildProfiles(streams, SimpleALU, cpu.DefaultL1()); err != nil {
+		t.Fatal(err)
+	}
+	recs, dropped := obs.Default().SpanRecords()
+	if dropped != 0 {
+		t.Fatalf("%d spans dropped", dropped)
+	}
+	builds := map[int64]obs.SpanRecord{}
+	withDep := 0
+	for _, r := range recs {
+		if r.Name != "trace.interval_build:SimpleALU" {
+			continue
+		}
+		builds[r.ID] = r
+		if len(r.Deps) > 1 {
+			t.Fatalf("span %d has %d deps, want at most 1 (previous interval)", r.ID, len(r.Deps))
+		}
+		if len(r.Deps) == 1 {
+			withDep++
+		}
+	}
+	if len(builds) != nIv {
+		t.Fatalf("recorded %d interval-build spans, want %d", len(builds), nIv)
+	}
+	// Every interval except each thread's first carries exactly one edge.
+	if want := nIv - nThreads; withDep != want {
+		t.Fatalf("%d spans carry a dep edge, want %d (all but the first interval per thread)", withDep, want)
+	}
+	for _, r := range builds {
+		if len(r.Deps) == 1 {
+			if _, ok := builds[r.Deps[0]]; !ok {
+				t.Fatalf("span %d depends on %d, which is not an interval-build span", r.ID, r.Deps[0])
+			}
+		}
+	}
+}
