@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"synts/internal/service"
+)
+
+func writeLoadReport(t *testing.T, r *service.LoadReport) string {
+	t.Helper()
+	raw, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "load.json")
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func goodLoadReport() *service.LoadReport {
+	return &service.LoadReport{
+		Schema:      service.LoadSchema,
+		Seed:        1,
+		TargetRPS:   50,
+		AchievedRPS: 49.5,
+		DurationMs:  5000,
+		Requests:    250,
+		OK:          240,
+		Shed:        10,
+		Latency:     service.LatencySummary{P50: 1.1, P95: 3.4, P99: 7.9, Max: 12},
+		SLOPass:     true,
+	}
+}
+
+func TestCheckLoadAcceptsValidReport(t *testing.T) {
+	if err := checkLoad(writeLoadReport(t, goodLoadReport())); err != nil {
+		t.Fatalf("checkLoad rejected a valid report: %v", err)
+	}
+}
+
+func TestCheckLoadRejects(t *testing.T) {
+	t.Run("wrong schema", func(t *testing.T) {
+		r := goodLoadReport()
+		r.Schema = "synts-load/v0"
+		if err := checkLoad(writeLoadReport(t, r)); err == nil {
+			t.Fatal("accepted wrong schema")
+		}
+	})
+	t.Run("counts do not sum", func(t *testing.T) {
+		r := goodLoadReport()
+		r.OK = 100
+		if err := checkLoad(writeLoadReport(t, r)); err == nil {
+			t.Fatal("accepted mismatched counts")
+		}
+	})
+	t.Run("unordered quantiles", func(t *testing.T) {
+		r := goodLoadReport()
+		r.Latency.P99 = 2
+		if err := checkLoad(writeLoadReport(t, r)); err == nil {
+			t.Fatal("accepted p99 < p95")
+		}
+	})
+	t.Run("not json", func(t *testing.T) {
+		path := filepath.Join(t.TempDir(), "load.json")
+		os.WriteFile(path, []byte("not json"), 0o644)
+		if err := checkLoad(path); err == nil {
+			t.Fatal("accepted garbage")
+		}
+	})
+}

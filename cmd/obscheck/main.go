@@ -1,13 +1,14 @@
 // Command obscheck validates the observability artifacts a synts run
 // emits: the -stats-json snapshot, the -trace-out Chrome trace, the
-// -events-out decision ledger, the -simprof-out simulation profile and
-// the `synts sweep` scaling artifact. CI runs it against freshly
-// generated files so a schema regression fails the build instead of
-// silently shipping artifacts no dashboard can parse.
+// -events-out decision ledger, the -simprof-out simulation profile, the
+// `synts sweep` scaling artifact and the `synts loadgen` load report. CI
+// runs it against freshly generated files so a schema regression fails
+// the build instead of silently shipping artifacts no dashboard can
+// parse.
 //
 // Usage:
 //
-//	obscheck -stats stats.json -trace trace.json -events events.jsonl -ckpt ckptdir -simprof simprof.pb.gz -sweep sweep.json
+//	obscheck -stats stats.json -trace trace.json -events events.jsonl -ckpt ckptdir -simprof simprof.pb.gz -sweep sweep.json -load load.json
 //
 // Any flag may be omitted to check only the others. When both -events and
 // -simprof are given, the profiler's replay- and sampling-phase totals are
@@ -27,6 +28,7 @@ import (
 	"synts/internal/isa"
 	"synts/internal/obs"
 	"synts/internal/sched"
+	"synts/internal/service"
 	"synts/internal/simprof"
 	"synts/internal/telemetry"
 	"synts/internal/trace"
@@ -39,10 +41,11 @@ func main() {
 	ckptPath := flag.String("ckpt", "", "path to a -checkpoint-dir directory (synts-ckpt/v1)")
 	simprofPath := flag.String("simprof", "", "path to a -simprof-out simulation profile (gzipped pprof profile.proto)")
 	sweepPath := flag.String("sweep", "", "path to a `synts sweep` artifact (synts-sweep/v1)")
+	loadPath := flag.String("load", "", "path to a `synts loadgen` report (synts-load/v1)")
 	allowEmpty := flag.Bool("allow-empty", false, "accept a ledger or profile with zero events/samples (schema is still enforced)")
 	flag.Parse()
-	if *statsPath == "" && *tracePath == "" && *eventsPath == "" && *ckptPath == "" && *simprofPath == "" && *sweepPath == "" {
-		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace, -events, -ckpt, -simprof and/or -sweep)")
+	if *statsPath == "" && *tracePath == "" && *eventsPath == "" && *ckptPath == "" && *simprofPath == "" && *sweepPath == "" && *loadPath == "" {
+		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace, -events, -ckpt, -simprof, -sweep and/or -load)")
 		os.Exit(2)
 	}
 	failed := false
@@ -63,9 +66,25 @@ func main() {
 	check(*ckptPath, checkCkpt)
 	check(*simprofPath, func(p string) error { return checkSimprof(p, *eventsPath, *allowEmpty) })
 	check(*sweepPath, checkSweep)
+	check(*loadPath, checkLoad)
 	if failed {
 		os.Exit(1)
 	}
+}
+
+// checkLoad enforces the synts-load/v1 contract via the report's own
+// validator: schema tag, outcome counts that sum to the request total,
+// and ordered latency quantiles.
+func checkLoad(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r service.LoadReport
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return fmt.Errorf("not a load report: %w", err)
+	}
+	return r.Validate()
 }
 
 // checkSweep enforces the synts-sweep/v1 contract via the internal/sched

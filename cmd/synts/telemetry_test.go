@@ -90,7 +90,7 @@ func TestServeMuxEndpoints(t *testing.T) {
 		simprof.Key{Kernel: "b", Core: 0, Interval: 0, Phase: simprof.PhaseReplay, Op: "ADD", Stage: "SimpleALU"},
 		simprof.Values{Cycles: 3, Errors: 1, Energy: 3, Instrs: 2})
 
-	srv := httptest.NewServer(newServeMux())
+	srv := httptest.NewServer(newServeMux(nil))
 	defer srv.Close()
 
 	resp, err := http.Get(srv.URL + "/metrics")

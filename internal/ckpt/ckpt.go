@@ -81,6 +81,28 @@ func (s *Store) Load(experiment string) ([]byte, bool) {
 	return e.Output, true
 }
 
+// Names lists the experiments with a usable checkpoint under this store's
+// key, sorted. Unreadable files, stale .tmp leftovers and entries written
+// under another configuration are skipped, mirroring Load — the solver
+// service uses this at startup to report how many warm-start entries it
+// inherited without trusting any of them blindly.
+func (s *Store) Names() []string {
+	paths, err := filepath.Glob(filepath.Join(s.dir, "*.ckpt.json"))
+	if err != nil {
+		return nil
+	}
+	sort.Strings(paths)
+	var names []string
+	for _, p := range paths {
+		name := filepath.Base(p)
+		name = name[:len(name)-len(".ckpt.json")]
+		if _, ok := s.Load(name); ok {
+			names = append(names, name)
+		}
+	}
+	return names
+}
+
 // Save atomically records experiment's rendered output: the entry is
 // written to a temporary file in the same directory and renamed into
 // place, so a concurrent reader (or a kill at any instant) sees either

@@ -1,0 +1,37 @@
+package ckpt
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestStoreNames(t *testing.T) {
+	dir := t.TempDir()
+	key := Key{Size: 2, Seed: 1, Threads: 4, Intervals: 3}
+	st, err := Open(dir, key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if names := st.Names(); len(names) != 0 {
+		t.Fatalf("fresh store lists %v", names)
+	}
+	for _, name := range []string{"fig6.12", "table5.1", "fig1.2"} {
+		if err := st.Save(name, []byte(name+" output")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"fig1.2", "fig6.12", "table5.1"}
+	if got := st.Names(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v (sorted)", got, want)
+	}
+
+	// A store opened over the same directory with a different key must not
+	// list the stale entries — the same defence Load has.
+	other, err := Open(dir, Key{Size: 3, Seed: 9, Threads: 4, Intervals: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := other.Names(); len(got) != 0 {
+		t.Fatalf("mismatched-key store lists %v", got)
+	}
+}

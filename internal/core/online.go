@@ -112,6 +112,15 @@ func (g *GuardPolicy) check(c *Config, rates []float64) string {
 	return ""
 }
 
+// Check returns the first rejection reason for one set of sampled rates,
+// or "" if they are plausible. It is the exported face of the guard band
+// for callers that validate estimates outside SolveOnline — the solver
+// service screens client-supplied error curves with it before admitting a
+// request to a shard.
+func (g *GuardPolicy) Check(c *Config, rates []float64) string {
+	return g.check(c, rates)
+}
+
 // pessimalErr is the error function the solver sees for a fallback
 // thread: safe only at r = 1. It steers SolvePoly's barrier-time view of
 // the thread toward the nominal point the fallback will pin anyway.
@@ -121,6 +130,10 @@ func pessimalErr(r float64) float64 {
 	}
 	return 1
 }
+
+// PessimalErr is the exported fallback error function: safe only at
+// r = 1, so a guarded-out core is pinned to the nominal operating point.
+func PessimalErr(r float64) float64 { return pessimalErr(r) }
 
 // nsampFor returns the sampling budget of thread i.
 func (oc OnlineConfig) nsampFor(i int) float64 {

@@ -7,11 +7,10 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sync"
-	"sync/atomic"
 
 	"synts/internal/core"
 	"synts/internal/cpu"
+	"synts/internal/flight"
 	"synts/internal/obs"
 	"synts/internal/telemetry"
 	"synts/internal/trace"
@@ -74,38 +73,19 @@ type Bench struct {
 	Opts    Options
 	Streams []*workload.Stream
 
-	mu       sync.Mutex // guards the map only, never held across a build
-	profiles map[trace.Stage]*profileEntry
-}
-
-// profileEntry singleflights one stage's profile build: concurrent callers
-// share the sync.Once, so exactly one goroutine computes while the others
-// block on it — and builds for *different* stages proceed concurrently
-// instead of serializing on a whole-map lock. done flips once the build has
-// finished, letting the obs layer classify later callers as cache hits
-// rather than singleflight waiters.
-type profileEntry struct {
-	once sync.Once
-	done atomic.Bool
-	p    [][]*trace.Profile
-	err  error
+	// profiles singleflights per-stage profile builds: concurrent callers
+	// for the same stage share one build, and builds for *different*
+	// stages proceed concurrently instead of serializing on a map lock.
+	profiles flight.Memo[trace.Stage, [][]*trace.Profile]
 }
 
 // classifyLookup bumps the hit/miss/singleflight-wait counter for one
-// memoized lookup: a fresh entry is a miss, an entry whose build is still
-// in flight is a wait, and a finished entry is a hit.
-func classifyLookup(prefix string, existed, done bool) {
+// memoized lookup.
+func classifyLookup(prefix string, out flight.Outcome) {
 	if !obs.Enabled() {
 		return
 	}
-	switch {
-	case !existed:
-		obs.C(prefix + ".miss").Add(1)
-	case done:
-		obs.C(prefix + ".hit").Add(1)
-	default:
-		obs.C(prefix + ".wait").Add(1)
-	}
+	obs.C(prefix + "." + out.String()).Add(1)
 }
 
 // buildProfiles is swapped out by tests that count build invocations.
@@ -138,10 +118,9 @@ func LoadBench(name string, opts Options) (*Bench, error) {
 		}
 	}
 	return &Bench{
-		Name:     name,
-		Opts:     opts,
-		Streams:  streams,
-		profiles: make(map[trace.Stage]*profileEntry),
+		Name:    name,
+		Opts:    opts,
+		Streams: streams,
 	}, nil
 }
 
@@ -157,28 +136,15 @@ func (b *Bench) Profiles(stage trace.Stage) ([][]*trace.Profile, error) {
 // ctx does not poison the memo: the entry is discarded so a later caller
 // rebuilds from scratch.
 func (b *Bench) ProfilesCtx(ctx context.Context, stage trace.Stage) ([][]*trace.Profile, error) {
-	b.mu.Lock()
-	e, ok := b.profiles[stage]
-	if !ok {
-		e = &profileEntry{}
-		b.profiles[stage] = e
-	}
-	b.mu.Unlock()
-	classifyLookup("exp.profiles", ok, e.done.Load())
-	e.once.Do(func() {
-		sp := obs.StartSpan("exp.profiles.build:" + b.Name + ":" + stage.String())
-		e.p, e.err = buildProfiles(ctx, b.Name, b.Streams, stage, b.Opts.Cache)
-		sp.End()
-		e.done.Store(true)
+	p, err, out := b.profiles.Do(stage, func() ([][]*trace.Profile, error) {
+		defer obs.StartSpan("exp.profiles.build:" + b.Name + ":" + stage.String()).End()
+		return buildProfiles(ctx, b.Name, b.Streams, stage, b.Opts.Cache)
 	})
-	if canceled(e.err) {
-		b.mu.Lock()
-		if b.profiles[stage] == e {
-			delete(b.profiles, stage)
-		}
-		b.mu.Unlock()
+	classifyLookup("exp.profiles", out)
+	if canceled(err) {
+		b.profiles.DiscardIf(stage, canceled)
 	}
-	return e.p, e.err
+	return p, err
 }
 
 // BenchCache memoizes loaded benchmarks across experiments, keyed by
@@ -186,8 +152,7 @@ func (b *Bench) ProfilesCtx(ctx context.Context, stage trace.Stage) ([][]*trace.
 // the same kernel run it once and share the *Bench (whose own per-stage
 // profile memoization is concurrency-safe, so sharing is free).
 type BenchCache struct {
-	mu sync.Mutex
-	m  map[benchKey]*benchEntry
+	m flight.Memo[benchKey, *Bench]
 }
 
 type benchKey struct {
@@ -195,19 +160,12 @@ type benchKey struct {
 	opts Options
 }
 
-type benchEntry struct {
-	once sync.Once
-	done atomic.Bool
-	b    *Bench
-	err  error
-}
-
 // loadBenchImpl is swapped out by tests that count kernel runs.
 var loadBenchImpl = LoadBench
 
 // NewBenchCache returns an empty cache.
 func NewBenchCache() *BenchCache {
-	return &BenchCache{m: make(map[benchKey]*benchEntry)}
+	return &BenchCache{}
 }
 
 // Load returns the cached benchmark for (name, opts), running the kernel
@@ -221,33 +179,18 @@ func (c *BenchCache) Load(name string, opts Options) (*Bench, error) {
 // not poison the cache entry.
 func (c *BenchCache) LoadCtx(ctx context.Context, name string, opts Options) (*Bench, error) {
 	key := benchKey{name: name, opts: opts}
-	c.mu.Lock()
-	e, ok := c.m[key]
-	if !ok {
-		e = &benchEntry{}
-		c.m[key] = e
-	}
-	c.mu.Unlock()
-	classifyLookup("exp.benchcache", ok, e.done.Load())
-	e.once.Do(func() {
+	b, err, out := c.m.Do(key, func() (*Bench, error) {
 		if err := ctx.Err(); err != nil {
-			e.err = err
-			e.done.Store(true)
-			return
+			return nil, err
 		}
-		sp := obs.StartSpan("exp.bench.load:" + name)
-		e.b, e.err = loadBenchImpl(name, opts)
-		sp.End()
-		e.done.Store(true)
+		defer obs.StartSpan("exp.bench.load:" + name).End()
+		return loadBenchImpl(name, opts)
 	})
-	if canceled(e.err) {
-		c.mu.Lock()
-		if c.m[key] == e {
-			delete(c.m, key)
-		}
-		c.mu.Unlock()
+	classifyLookup("exp.benchcache", out)
+	if canceled(err) {
+		c.m.DiscardIf(key, canceled)
 	}
-	return e.b, e.err
+	return b, err
 }
 
 // Intervals returns the per-interval solver inputs for a stage.

@@ -19,7 +19,8 @@
 //	spec    := "off" | class[=rate] ("," class[=rate])*
 //	class   := sample-noise | sample-drop | sample-nan |
 //	           replay-perturb | task-panic | task-stall |
-//	           ckpt-write-fail | ledger-spill-torn
+//	           ckpt-write-fail | ledger-spill-torn |
+//	           req-slow | req-drop
 //	rate    := float in (0, 1]   (default per class, see DefaultRate)
 //
 // e.g. `-chaos sample-noise,task-panic` or `-chaos sample-nan=0.5`.
@@ -68,11 +69,21 @@ const (
 	// spill-merge path must skip the torn record, count it, and keep every
 	// intact one.
 	LedgerSpillTorn = "ledger-spill-torn"
+	// ReqSlow makes a solver-service request's solve take ReqSlowDuration
+	// longer on its shard worker (a degraded or contended solver). The
+	// penalty consumes real shard capacity, so injected slowness surfaces
+	// as queue depth, latency and ultimately queue-full sheds — the whole
+	// overload path, exercised deterministically.
+	ReqSlow = "req-slow"
+	// ReqDrop fails a solver-service request after admission (a lost
+	// response or a worker crash from the client's point of view); the
+	// service answers 503 and records a fallback event for the request.
+	ReqDrop = "req-drop"
 )
 
 // Classes lists every fault class, in spec order.
 func Classes() []string {
-	return []string{SampleNoise, SampleDrop, SampleNaN, ReplayPerturb, TaskPanic, TaskStall, CkptWriteFail, LedgerSpillTorn}
+	return []string{SampleNoise, SampleDrop, SampleNaN, ReplayPerturb, TaskPanic, TaskStall, CkptWriteFail, LedgerSpillTorn, ReqSlow, ReqDrop}
 }
 
 // DefaultRate is the per-hook injection probability used when the spec
@@ -88,6 +99,11 @@ func DefaultRate(class string) float64 {
 
 // StallDuration is how long an injected task stall sleeps.
 const StallDuration = 10 * time.Millisecond
+
+// ReqSlowDuration is how long an injected request slowdown delays a
+// solver-service request. It is fixed (not shaped by hash bits) so
+// latency assertions in tests and CI have a known floor.
+const ReqSlowDuration = 25 * time.Millisecond
 
 // taskPanicRetries is the per-task budget of consecutive injected panics
 // the pool will retry before giving up; exported for the pool via
@@ -346,6 +362,40 @@ func SpillTear(line []byte) int {
 		return len(line)
 	}
 	return int(unit(shape) * float64(len(line)))
+}
+
+// RequestDelay returns how long the solver service should slow one
+// request's solve (req-slow): ReqSlowDuration when the class fires for
+// this request, zero otherwise. digest is the request's content digest,
+// so the same request stream slows the same requests at any -j and on
+// every replay.
+func RequestDelay(digest uint64) time.Duration {
+	if !enabled.Load() {
+		return 0
+	}
+	c := current.Load()
+	if c == nil {
+		return 0
+	}
+	if on, _ := c.fire(ReqSlow, digest); on {
+		return ReqSlowDuration
+	}
+	return 0
+}
+
+// RequestDrop decides whether the solver service should fail one admitted
+// request with an injected error (req-drop). Keyed on the request's
+// content digest, like RequestDelay.
+func RequestDrop(digest uint64) bool {
+	if !enabled.Load() {
+		return false
+	}
+	c := current.Load()
+	if c == nil {
+		return false
+	}
+	on, _ := c.fire(ReqDrop, digest)
+	return on
 }
 
 // InjectedPanic is the value an injected task panic carries; the pool

@@ -1,0 +1,58 @@
+package pool
+
+import (
+	"time"
+
+	"synts/internal/obs"
+)
+
+// Worker is a long-lived single-slot executor for services that keep their
+// own queues. A Group is built for batch fan-out — first-error
+// cancellation poisons it for anything long-lived — so a request-serving
+// shard instead owns one Worker and calls Run per request. Each Run gets
+// the exact task treatment a Group task gets: the "pool.task" span pinned
+// to the worker's reserved Chrome-trace row with the caller's Submitter
+// attribution edge (so the sched analyzer sees service shards as parallel
+// workers, like pool workers), the submitted/completed counters and
+// busy-time histogram, panic recovery into *PanicError, and the chaos
+// harness's task-start hooks with the injected-panic retry budget.
+type Worker struct {
+	tid int // reserved Chrome-trace row (0 = untracked; obs was off at creation)
+}
+
+// NewWorker reserves one trace row and returns a ready Worker. Create
+// workers while the obs layer is in its final enabled/disabled state;
+// a Worker created before obs.Enable runs untracked.
+func NewWorker() *Worker {
+	w := &Worker{}
+	if obs.Enabled() {
+		w.tid = obs.NextTIDBlock(1)
+	}
+	return w
+}
+
+// Run executes fn on the calling goroutine with the full pool task
+// treatment and returns its error. submitter is the span that caused this
+// work (obs.Span.ID of the request span, or 0 for none); it becomes the
+// task span's Submitter edge. A panic in fn is recovered and returned as
+// a *PanicError, never propagated — a service shard must survive any one
+// request.
+func (w *Worker) Run(submitter int64, fn func() error) error {
+	var sp *obs.Span
+	var started time.Time
+	if obs.Enabled() {
+		obs.C("pool.tasks.submitted").Add(1)
+		sp = obs.StartSpan("pool.task")
+		sp.SetTID(w.tid)
+		sp.SetSubmitter(submitter)
+		started = time.Now()
+	}
+	defer func() {
+		if !started.IsZero() {
+			obs.H("pool.worker_busy_ns").Observe(float64(time.Since(started)))
+			obs.C("pool.tasks.completed").Add(1)
+		}
+		sp.End()
+	}()
+	return runTask(fn)
+}

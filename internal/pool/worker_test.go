@@ -1,0 +1,66 @@
+package pool
+
+import (
+	"errors"
+	"testing"
+
+	"synts/internal/obs"
+)
+
+func TestWorkerRunReturnsErrors(t *testing.T) {
+	w := NewWorker()
+	if err := w.Run(0, func() error { return nil }); err != nil {
+		t.Fatalf("nil-error task: %v", err)
+	}
+	want := errors.New("boom")
+	if err := w.Run(0, func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("error passthrough: %v", err)
+	}
+}
+
+func TestWorkerRunRecoversPanics(t *testing.T) {
+	w := NewWorker()
+	err := w.Run(0, func() error { panic("request bug") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("panic not wrapped as *PanicError: %v", err)
+	}
+	if pe.Value != "request bug" {
+		t.Errorf("panic value %v", pe.Value)
+	}
+	// The worker survives: the next Run works.
+	if err := w.Run(0, func() error { return nil }); err != nil {
+		t.Fatalf("worker poisoned after panic: %v", err)
+	}
+}
+
+// With obs enabled, every Run emits a pool.task span pinned to the
+// worker's reserved row, carrying the caller's submitter edge — the shape
+// the sched analyzer expects from service shards.
+func TestWorkerRunEmitsTaskSpans(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	w := NewWorker()
+	if w.tid == 0 {
+		t.Fatalf("worker got no trace row while obs enabled")
+	}
+	submitter := obs.StartSpan("service.request:test")
+	if err := w.Run(submitter.ID(), func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	submitter.End()
+
+	recs, _ := obs.Default().SpanRecords()
+	found := false
+	for _, r := range recs {
+		if r.Name == "pool.task" && r.Submitter == submitter.ID() {
+			if r.TID != w.tid {
+				t.Errorf("task span on row %d, want worker row %d", r.TID, w.tid)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("no pool.task span with the submitter edge in %d records", len(recs))
+	}
+}

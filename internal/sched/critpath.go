@@ -92,6 +92,14 @@ type Analysis struct {
 	Stages        []StageTotal `json:"stages"`
 	WorkersDetail []WorkerStat `json:"workers_detail,omitempty"`
 
+	// Submitters attributes the pool-task busy time to the stage of the
+	// span that submitted each task (the Submitter edge): for a batch run
+	// that is the experiment driver ("exp.run"), for the solver service
+	// the request span ("service.request"), so service wall-clock can be
+	// split from background work sharing the same pool. Tasks whose
+	// submitter span is unknown (or none) aggregate under "(none)".
+	Submitters []StageTotal `json:"submitters,omitempty"`
+
 	StragglerTID     int     `json:"straggler_tid"`      // worker with the most busy time
 	ImbalanceMaxMean float64 `json:"imbalance_max_mean"` // max worker busy / mean worker busy
 }
@@ -200,6 +208,34 @@ func Analyze(recs []obs.SpanRecord, opts Options) *Analysis {
 			a.ImbalanceMaxMean = float64(max) / (float64(sum) / float64(n))
 		}
 	}
+
+	// Submitter attribution: task busy time grouped by the stage of the
+	// span that enqueued the task.
+	nameByID := make(map[int64]string, len(recs))
+	for _, r := range recs {
+		nameByID[r.ID] = r.Name
+	}
+	subTot := map[string]*StageTotal{}
+	for _, r := range recs {
+		if r.Name != TaskSpanName {
+			continue
+		}
+		st := "(none)"
+		if n, ok := nameByID[r.Submitter]; ok && r.Submitter != 0 {
+			st = StageOf(n)
+		}
+		g := subTot[st]
+		if g == nil {
+			g = &StageTotal{Stage: st}
+			subTot[st] = g
+		}
+		g.Count++
+		g.TotalNs += r.DurNs
+	}
+	for _, g := range subTot {
+		a.Submitters = append(a.Submitters, *g)
+	}
+	sort.Slice(a.Submitters, func(i, j int) bool { return a.Submitters[i].Stage < a.Submitters[j].Stage })
 
 	// Per-stage aggregate time.
 	stageTot := map[string]*StageTotal{}

@@ -1,0 +1,257 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// LoadSchema identifies a load-generator report.
+const LoadSchema = "synts-load/v1"
+
+// LoadOptions configures one open-loop run against a live service.
+type LoadOptions struct {
+	// URL is the service base URL (e.g. http://127.0.0.1:8080); the
+	// generator POSTs to URL + "/v1/solve".
+	URL string
+	// RPS is the target open-loop arrival rate; <= 0 means 50.
+	RPS float64
+	// Duration bounds the run; <= 0 means 5s. The request count is
+	// RPS * Duration, fixed up front — the schedule never adapts to
+	// service latency, which is what makes overload visible as shed
+	// rather than hidden as generator slowdown.
+	Duration time.Duration
+	// Gen seeds the request stream (see GenStream); Gen.Seed also stamps
+	// the report.
+	Gen GenOptions
+	// MaxInFlight bounds concurrent outstanding requests; <= 0 means 256.
+	// An arrival finding no free slot is counted Dropped, not delayed —
+	// the open-loop contract again.
+	MaxInFlight int
+	// SLO is the pass/fail gate stamped into the report.
+	SLO SLO
+}
+
+// SLO is the service-level objective a run is judged against.
+type SLO struct {
+	// P95MaxMs fails the run if the p95 latency exceeds it; <= 0 skips
+	// the latency gate.
+	P95MaxMs float64 `json:"p95_max_ms"`
+	// MaxErrorFrac fails the run if (errors + dropped) / requests
+	// exceeds it. Sheds are NOT errors: a 429/503 with a shed reason is
+	// the service behaving as designed under overload.
+	MaxErrorFrac float64 `json:"max_error_frac"`
+}
+
+// LatencySummary is the report's latency digest, in milliseconds,
+// computed by exact sort over all observed request latencies.
+type LatencySummary struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// LoadReport is the synts-load/v1 result of one run.
+type LoadReport struct {
+	Schema      string  `json:"schema"`
+	Seed        int64   `json:"seed"`
+	TargetRPS   float64 `json:"target_rps"`
+	AchievedRPS float64 `json:"achieved_rps"`
+	DurationMs  float64 `json:"duration_ms"`
+
+	// Requests = OK + Shed + ClientErrors + Errors + Dropped, always.
+	Requests     int `json:"requests"`
+	OK           int `json:"ok"`
+	Shed         int `json:"shed"` // 429/503 carrying X-Synts-Shed-Reason
+	ClientErrors int `json:"client_errors"`
+	Errors       int `json:"errors"` // transport failures + unexpected statuses
+	Dropped      int `json:"dropped"`
+
+	CoalesceHits int `json:"coalesce_hits"`
+	WarmHits     int `json:"warm_hits"`
+
+	Latency LatencySummary `json:"latency"`
+	SLO     SLO            `json:"slo"`
+	SLOPass bool           `json:"slo_pass"`
+}
+
+// Validate checks a report's internal consistency: the schema tag, the
+// count identity, and quantile ordering. cmd/obscheck -load runs this on
+// CI artifacts.
+func (r *LoadReport) Validate() error {
+	if r.Schema != LoadSchema {
+		return fmt.Errorf("schema %q, want %q", r.Schema, LoadSchema)
+	}
+	for _, c := range []struct {
+		name string
+		v    int
+	}{
+		{"requests", r.Requests}, {"ok", r.OK}, {"shed", r.Shed},
+		{"client_errors", r.ClientErrors}, {"errors", r.Errors},
+		{"dropped", r.Dropped},
+		{"coalesce_hits", r.CoalesceHits}, {"warm_hits", r.WarmHits},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("negative %s count %d", c.name, c.v)
+		}
+	}
+	if sum := r.OK + r.Shed + r.ClientErrors + r.Errors + r.Dropped; sum != r.Requests {
+		return fmt.Errorf("outcome counts sum to %d, want requests = %d", sum, r.Requests)
+	}
+	if r.Requests == 0 {
+		return fmt.Errorf("empty run: zero requests")
+	}
+	if r.DurationMs <= 0 {
+		return fmt.Errorf("non-positive duration_ms %v", r.DurationMs)
+	}
+	q := r.Latency
+	for _, v := range []float64{q.P50, q.P95, q.P99, q.Max} {
+		if math.IsNaN(v) || v < 0 {
+			return fmt.Errorf("bad latency quantile %v", v)
+		}
+	}
+	if q.P50 > q.P95 || q.P95 > q.P99 || q.P99 > q.Max {
+		return fmt.Errorf("latency quantiles out of order: p50=%v p95=%v p99=%v max=%v",
+			q.P50, q.P95, q.P99, q.Max)
+	}
+	return nil
+}
+
+// RunLoad executes one seeded open-loop run: request i fires at
+// start + i/RPS regardless of how earlier requests fared, bounded only
+// by MaxInFlight. The request mix is GenStream's, so two runs with equal
+// options replay byte-identical request bodies in the same order.
+func RunLoad(opts LoadOptions) (*LoadReport, error) {
+	rps := opts.RPS
+	if rps <= 0 {
+		rps = 50
+	}
+	dur := opts.Duration
+	if dur <= 0 {
+		dur = 5 * time.Second
+	}
+	maxIF := opts.MaxInFlight
+	if maxIF <= 0 {
+		maxIF = 256
+	}
+	n := int(rps * dur.Seconds())
+	if n < 1 {
+		n = 1
+	}
+	reqs := GenStream(opts.Gen, n)
+	bodies := make([][]byte, n)
+	for i := range reqs {
+		b, err := json.Marshal(&reqs[i])
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: marshal request %d: %w", i, err)
+		}
+		bodies[i] = b
+	}
+	url := opts.URL + "/v1/solve"
+	client := &http.Client{Timeout: 30 * time.Second}
+
+	rep := &LoadReport{
+		Schema:    LoadSchema,
+		Seed:      opts.Gen.Seed,
+		TargetRPS: rps,
+		SLO:       opts.SLO,
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	latencies := make([]float64, 0, n)
+	slots := make(chan struct{}, maxIF)
+	interval := time.Duration(float64(time.Second) / rps)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if d := start.Add(time.Duration(i) * interval).Sub(time.Now()); d > 0 {
+			time.Sleep(d)
+		}
+		select {
+		case slots <- struct{}{}:
+		default:
+			mu.Lock()
+			rep.Dropped++
+			mu.Unlock()
+			continue
+		}
+		wg.Add(1)
+		go func(body []byte) {
+			defer wg.Done()
+			defer func() { <-slots }()
+			t0 := time.Now()
+			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				rep.Errors++
+				return
+			}
+			defer resp.Body.Close()
+			latencies = append(latencies, float64(lat)/float64(time.Millisecond))
+			switch {
+			case resp.StatusCode == http.StatusOK:
+				rep.OK++
+				if resp.Header.Get(HeaderCoalesced) != "" {
+					rep.CoalesceHits++
+				}
+				if resp.Header.Get(HeaderWarm) != "" {
+					rep.WarmHits++
+				}
+			case resp.Header.Get(HeaderShedReason) != "":
+				rep.Shed++
+			case resp.StatusCode >= 400 && resp.StatusCode < 500:
+				rep.ClientErrors++
+			default:
+				rep.Errors++
+			}
+		}(bodies[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep.Requests = n
+	rep.DurationMs = float64(elapsed) / float64(time.Millisecond)
+	rep.AchievedRPS = float64(n-rep.Dropped) / elapsed.Seconds()
+	sort.Float64s(latencies)
+	rep.Latency = LatencySummary{
+		P50: quantile(latencies, 0.50),
+		P95: quantile(latencies, 0.95),
+		P99: quantile(latencies, 0.99),
+	}
+	if len(latencies) > 0 {
+		rep.Latency.Max = latencies[len(latencies)-1]
+	}
+	rep.SLOPass = rep.slo()
+	return rep, nil
+}
+
+// slo evaluates the report against its SLO gate.
+func (r *LoadReport) slo() bool {
+	if r.SLO.P95MaxMs > 0 && r.Latency.P95 > r.SLO.P95MaxMs {
+		return false
+	}
+	frac := float64(r.Errors+r.Dropped) / float64(r.Requests)
+	return frac <= r.SLO.MaxErrorFrac
+}
+
+// quantile is the exact nearest-rank quantile of a sorted sample.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}

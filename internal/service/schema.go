@@ -1,0 +1,219 @@
+package service
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Schema identifiers. A response carries ResponseSchema so clients can
+// reject payloads from a future incompatible server; warm-start blobs
+// carry ResultSchema inside the ckpt entry.
+const (
+	RequestSchema  = "synts-solve-req/v1"
+	ResponseSchema = "synts-solve/v1"
+	ResultSchema   = "synts-solve-result/v1"
+)
+
+// MaxCores bounds the per-request core count; the paper's platform is a
+// 4-core CMP, and the solver is O(M²Q²S²) in the core count M.
+const MaxCores = 16
+
+// CoreCurve is one core's solver input: the interval's instruction count,
+// base CPI, and the sampled error rate at each TSR level of the platform
+// (ascending TSR order, ending at the nominal r = 1 level) — exactly what
+// the paper's sampling phase measures per barrier interval.
+type CoreCurve struct {
+	N       float64   `json:"n"`
+	CPIBase float64   `json:"cpi_base"`
+	Rates   []float64 `json:"rates"`
+}
+
+// SolveRequest is one /v1/solve request body: a tenant's per-interval
+// solve. Tenant and Seq identify the request (they feed the request
+// digest and the per-tenant span chain); Stage, Theta and Cores are the
+// solve payload proper and alone determine the answer.
+type SolveRequest struct {
+	Tenant string      `json:"tenant"`
+	Seq    int         `json:"seq"`
+	Stage  string      `json:"stage"`
+	Theta  float64     `json:"theta"`
+	Cores  []CoreCurve `json:"cores"`
+}
+
+// CoreResult is one core's assignment in a response.
+type CoreResult struct {
+	VIdx int     `json:"v_idx"`
+	RIdx int     `json:"r_idx"`
+	V    float64 `json:"v"`
+	TSR  float64 `json:"tsr"`
+	// Err is the error probability the solver believed at the chosen
+	// point; Replays the expected Razor replay count it implies.
+	Err     float64 `json:"err"`
+	Replays float64 `json:"replays"`
+	Energy  float64 `json:"energy"`
+	Time    float64 `json:"time"`
+	// Fallback carries the guard-band rejection reason when this core's
+	// rates were judged implausible and the core was pinned to nominal.
+	Fallback string `json:"fallback,omitempty"`
+}
+
+// solveResult is the request-independent part of an answer: a pure
+// function of (stage, theta, cores). It is what the coalescer shares
+// between identical in-flight requests and what the warm cache persists;
+// the response envelope (id, tenant, seq) is rebuilt per request so
+// coalescing and warm starts can never leak one tenant's identity into
+// another's body.
+type solveResult struct {
+	Schema string       `json:"schema"`
+	Cores  []CoreResult `json:"cores"`
+	Energy float64      `json:"energy"`
+	TExec  float64      `json:"t_exec"`
+	Cost   float64      `json:"cost"`
+}
+
+// SolveResponse is one /v1/solve 200 body.
+type SolveResponse struct {
+	Schema string       `json:"schema"`
+	ID     string       `json:"id"`
+	Tenant string       `json:"tenant"`
+	Seq    int          `json:"seq"`
+	Stage  string       `json:"stage"`
+	Theta  float64      `json:"theta"`
+	Cores  []CoreResult `json:"cores"`
+	Energy float64      `json:"energy"`
+	TExec  float64      `json:"t_exec"`
+	Cost   float64      `json:"cost"`
+}
+
+// Response headers the service sets so clients (and the load generator)
+// can observe cache behaviour without it ever entering the body.
+const (
+	HeaderCoalesced  = "X-Synts-Coalesced"   // "1": shared an in-flight solve
+	HeaderWarm       = "X-Synts-Warm"        // "1": served from the warm-start cache
+	HeaderShedReason = "X-Synts-Shed-Reason" // on 429/503: queue-full | draining
+)
+
+// Admission/shed reasons (also the telemetry shed-event Reason values).
+const (
+	ShedQueueFull = "queue-full"
+	ShedDraining  = "draining"
+	// ReasonReqDrop is the fallback-event reason for a request failed by
+	// the req-drop chaos class.
+	ReasonReqDrop = "req-drop"
+)
+
+// fnvOffset/fnvPrime are the FNV-1a constants; the digests below fold a
+// canonical binary encoding of the request through them so a digest is a
+// pure function of content — the property the chaos hooks and the
+// determinism guarantee both lean on.
+const (
+	fnvOffset = uint64(0xcbf29ce484222325)
+	fnvPrime  = uint64(0x100000001b3)
+)
+
+type digester struct{ h uint64 }
+
+func newDigester() *digester { return &digester{h: fnvOffset} }
+
+func (d *digester) bytes(p []byte) {
+	for _, b := range p {
+		d.h = (d.h ^ uint64(b)) * fnvPrime
+	}
+}
+
+func (d *digester) str(s string) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(s)))
+	d.bytes(n[:])
+	for i := 0; i < len(s); i++ {
+		d.h = (d.h ^ uint64(s[i])) * fnvPrime
+	}
+}
+
+func (d *digester) u64(v uint64) {
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], v)
+	d.bytes(n[:])
+}
+
+func (d *digester) f64(v float64) { d.u64(math.Float64bits(v)) }
+
+// payloadDigest fingerprints the solve payload only (stage, theta,
+// curves) — the coalesce and warm-start key: two requests with equal
+// payload digests have byte-identical solveResults.
+func payloadDigest(r *SolveRequest) uint64 {
+	d := newDigester()
+	d.str(r.Stage)
+	d.f64(r.Theta)
+	d.u64(uint64(len(r.Cores)))
+	for _, c := range r.Cores {
+		d.f64(c.N)
+		d.f64(c.CPIBase)
+		d.u64(uint64(len(c.Rates)))
+		for _, v := range c.Rates {
+			d.f64(v)
+		}
+	}
+	return d.h
+}
+
+// requestDigest fingerprints the whole request including its identity —
+// the request ID in responses and the key of the per-request chaos hooks,
+// so req-slow/req-drop decisions are per request, not per payload.
+func requestDigest(r *SolveRequest) uint64 {
+	d := newDigester()
+	d.str(r.Tenant)
+	d.u64(uint64(int64(r.Seq)))
+	d.u64(payloadDigest(r))
+	return d.h
+}
+
+// DigestID formats a digest the way responses and warm-store entries
+// name it: 16 lowercase hex digits.
+func DigestID(d uint64) string { return fmt.Sprintf("%016x", d) }
+
+// validate screens a request against the platform before admission.
+// tsrLevels is the platform's TSR-level count (every curve must sample
+// every level). Violations are client errors (HTTP 400), distinct from
+// guard-band rejections, which are service decisions about plausible-
+// looking but implausible data and answer 200 with fallback cores.
+func (r *SolveRequest) validate(stages map[string]bool, tsrLevels int) error {
+	if r.Tenant == "" {
+		return fmt.Errorf("empty tenant")
+	}
+	if len(r.Tenant) > 64 {
+		return fmt.Errorf("tenant name longer than 64 bytes")
+	}
+	if r.Seq < 0 {
+		return fmt.Errorf("negative seq %d", r.Seq)
+	}
+	if !stages[r.Stage] {
+		return fmt.Errorf("unknown stage %q", r.Stage)
+	}
+	if math.IsNaN(r.Theta) || math.IsInf(r.Theta, 0) || r.Theta < 0 {
+		return fmt.Errorf("theta %v: want a finite value >= 0", r.Theta)
+	}
+	if len(r.Cores) == 0 {
+		return fmt.Errorf("no cores")
+	}
+	if len(r.Cores) > MaxCores {
+		return fmt.Errorf("%d cores exceeds the %d-core limit", len(r.Cores), MaxCores)
+	}
+	for i, c := range r.Cores {
+		if math.IsNaN(c.N) || math.IsInf(c.N, 0) || c.N < 0 {
+			return fmt.Errorf("core %d: instruction count %v", i, c.N)
+		}
+		if math.IsNaN(c.CPIBase) || math.IsInf(c.CPIBase, 0) || c.CPIBase <= 0 {
+			return fmt.Errorf("core %d: cpi_base %v: want > 0", i, c.CPIBase)
+		}
+		if len(c.Rates) != tsrLevels {
+			return fmt.Errorf("core %d: %d rates for %d TSR levels", i, len(c.Rates), tsrLevels)
+		}
+		// NaN/range/monotonicity implausibilities are deliberately NOT
+		// rejected here: they flow to the guard band, which pins the core
+		// to nominal and records a fallback event — the paper's graceful
+		// degradation, observable instead of a 400.
+	}
+	return nil
+}

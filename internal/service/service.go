@@ -1,0 +1,574 @@
+// Package service is the long-lived solver daemon behind `synts serve`'s
+// /v1/solve API: the paper's per-barrier-interval solve loop offered as a
+// multi-tenant network service. Clients stream requests carrying per-core
+// sampled error curves and a theta weight (exactly what the online
+// sampling phase of §4.3 produces each interval) and get back the V/TSR
+// assignment SynTS-Poly chooses, with per-core energy/time/replay
+// attribution.
+//
+// The request path is: admit (drain gate + per-request chaos hooks) →
+// coalesce (identical in-flight payloads share one solve, via
+// internal/flight) → warm-start (completed payloads served from an
+// internal/ckpt-backed cache) → shard (payload-keyed dispatch onto
+// bounded per-shard queues; a full queue sheds the request with 429) →
+// solve (guard-band screening, then SolvePoly on a pool.Worker) →
+// respond. Every stage is observable: RED metrics, queue-depth /
+// shed / coalesce / warm-start series through internal/obs, per-tenant
+// latency histograms, a span per request chained per tenant into the
+// span DAG internal/sched analyses, and telemetry ledger events
+// (estimate/decision/barrier per solve, fallback for guard rejections
+// and chaos drops, shed for admission rejections) in the same canonical
+// synts-events/v1 ledger as the batch experiments.
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"synts/internal/ckpt"
+	"synts/internal/core"
+	"synts/internal/exp"
+	"synts/internal/faults"
+	"synts/internal/flight"
+	"synts/internal/obs"
+	"synts/internal/pool"
+	"synts/internal/telemetry"
+	"synts/internal/trace"
+)
+
+// SolverName is the Solver field of every ledger event the service emits.
+const SolverName = "service-poly"
+
+// maxBodyBytes bounds one request body; MaxCores cores with six rates
+// each fit in well under 64 KiB.
+const maxBodyBytes = 1 << 20
+
+// errQueueFull is the dispatch error behind a 429.
+var errQueueFull = errors.New("service: shard queue full")
+
+// errDropped is the injected req-drop failure behind a chaos 503.
+var errDropped = errors.New("service: request dropped by fault injection")
+
+// Config sizes the daemon.
+type Config struct {
+	// Shards is the solver worker count; <= 0 means GOMAXPROCS.
+	Shards int
+	// QueueLen is the per-shard bounded queue capacity; <= 0 means 64.
+	// When a shard's queue is full new requests shed with 429 — explicit
+	// backpressure instead of collapse.
+	QueueLen int
+	// WarmDir optionally persists the warm-start cache through an
+	// internal/ckpt store in this directory.
+	WarmDir string
+	// WarmCap bounds the in-memory warm cache; <= 0 means 4096 entries.
+	WarmCap int
+}
+
+// outcome is what coalesced requests share: the solve result plus how the
+// winning caller obtained it.
+type outcome struct {
+	res  *solveResult
+	warm bool // served from the warm-start cache, no fresh solve
+}
+
+// job is one queued unit of shard work. run is a closure (rather than the
+// request itself) so tests can occupy a shard deterministically.
+type job struct {
+	run       func() *solveResult
+	submitter int64 // request span ID, for the pool.task Submitter edge
+	res       *solveResult
+	err       error
+	done      chan struct{}
+}
+
+type shard struct {
+	jobs   chan *job
+	worker *pool.Worker
+	depth  string // gauge name, precomputed
+}
+
+// Service is one solver daemon instance. Create with New, mount with
+// Register, stop with Drain then Close.
+type Service struct {
+	cfg    Config
+	stages map[string]*core.Config
+	// stageSet and levels are the request-validation view of the platform.
+	stageSet map[string]bool
+	levels   int
+	tsrs     []float64
+	guard    core.GuardPolicy
+
+	shards   []*shard
+	workerWg sync.WaitGroup
+
+	inflight flight.Memo[uint64, *outcome]
+	warm     *warmCache
+
+	admitMu  sync.RWMutex
+	draining atomic.Bool
+	inFlight sync.WaitGroup
+
+	spanMu   sync.Mutex
+	lastSpan map[string]int64 // tenant -> most recent request span ID
+}
+
+// New builds the platform configs (one solver Config per pipe stage, the
+// paper's voltage table with each stage's STA critical path), opens the
+// warm-start layer, and starts the shard workers.
+func New(cfg Config) (*Service, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueLen <= 0 {
+		cfg.QueueLen = 64
+	}
+	opts := exp.DefaultOptions()
+	s := &Service{
+		cfg:      cfg,
+		stages:   make(map[string]*core.Config),
+		stageSet: make(map[string]bool),
+		tsrs:     exp.TSRs(),
+		lastSpan: make(map[string]int64),
+	}
+	s.levels = len(s.tsrs)
+	for _, st := range trace.Stages() {
+		c := exp.Platform(st, opts)
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("service: stage %s platform: %w", st, err)
+		}
+		s.stages[st.String()] = c
+		s.stageSet[st.String()] = true
+	}
+	warm, err := newWarmCache(cfg.WarmDir, cfg.WarmCap, s.gridKey())
+	if err != nil {
+		return nil, fmt.Errorf("service: warm dir: %w", err)
+	}
+	s.warm = warm
+	if n := warm.persisted(); n > 0 {
+		obs.G("service.warm.persisted").Set(float64(n))
+	}
+	s.shards = make([]*shard, cfg.Shards)
+	for i := range s.shards {
+		sh := &shard{
+			jobs:   make(chan *job, cfg.QueueLen),
+			worker: pool.NewWorker(),
+			depth:  fmt.Sprintf("service.queue_depth.s%d", i),
+		}
+		s.shards[i] = sh
+		s.workerWg.Add(1)
+		go s.runShard(sh)
+	}
+	return s, nil
+}
+
+// gridKey fingerprints the solver platform for the warm-start store: a
+// warm dir written under different voltage/TSR tables, stage timings or
+// penalty must be ignored, because payload digests would then map to
+// different answers.
+func (s *Service) gridKey() ckpt.Key {
+	d := newDigester()
+	for _, st := range trace.Stages() {
+		c := s.stages[st.String()]
+		d.str(st.String())
+		d.f64(c.CPenalty)
+		d.f64(c.Alpha)
+		d.f64(c.Leakage)
+		for _, v := range c.Voltages {
+			d.f64(v)
+			d.f64(c.TNom(v))
+		}
+		for _, r := range c.TSRs {
+			d.f64(r)
+		}
+	}
+	anyCfg := s.stages[trace.Stages()[0].String()]
+	return ckpt.Key{
+		Size:      len(anyCfg.Voltages),
+		Seed:      int64(d.h),
+		Threads:   MaxCores,
+		Intervals: s.levels,
+	}
+}
+
+// Register mounts the service endpoints on mux: POST /v1/solve, plus
+// /healthz (process liveness, always 200) and /readyz (admission
+// readiness: 503 once draining).
+func (s *Service) Register(mux *http.ServeMux) {
+	mux.HandleFunc("/v1/solve", s.handleSolve)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		io.WriteString(w, "ready\n")
+	})
+}
+
+// admit reserves an in-flight slot unless the service is draining. The
+// RWMutex pairs the drain flag with the WaitGroup increment, so Drain can
+// never observe a zero count while an admitted request has yet to Add.
+func (s *Service) admit() bool {
+	s.admitMu.RLock()
+	defer s.admitMu.RUnlock()
+	if s.draining.Load() {
+		return false
+	}
+	s.inFlight.Add(1)
+	return true
+}
+
+// Drain stops admitting (new requests answer 503, /readyz flips) and
+// blocks until every in-flight request has completed. Idempotent.
+func (s *Service) Drain() {
+	s.admitMu.Lock()
+	s.draining.Store(true)
+	s.admitMu.Unlock()
+	s.inFlight.Wait()
+}
+
+// Close stops the shard workers. Call after Drain; queued jobs still
+// complete (their requests are what Drain waited for).
+func (s *Service) Close() {
+	for _, sh := range s.shards {
+		close(sh.jobs)
+	}
+	s.workerWg.Wait()
+}
+
+// runShard is one shard's worker loop: dequeue, solve under the full
+// pool-task treatment, hand the result back.
+func (s *Service) runShard(sh *shard) {
+	defer s.workerWg.Done()
+	for jb := range sh.jobs {
+		obs.G(sh.depth).Set(float64(len(sh.jobs)))
+		err := sh.worker.Run(jb.submitter, func() error {
+			jb.res = jb.run()
+			return nil
+		})
+		if err != nil {
+			jb.err = err
+		}
+		close(jb.done)
+	}
+}
+
+// solve is the pure request → result function: guard-band screening,
+// SolvePoly over the admitted curves, fallback cores pinned to nominal,
+// per-core attribution via Breakdown. Identical payloads produce
+// byte-identical results at any shard count, which is what makes
+// coalescing, warm-starting and the determinism contract sound.
+func (s *Service) solve(r *SolveRequest) *solveResult {
+	cfg := s.stages[r.Stage]
+	m := len(r.Cores)
+	threads := make([]core.Thread, m)
+	fallbacks := make([]string, m)
+	for i, cc := range r.Cores {
+		if reason := s.guard.Check(cfg, cc.Rates); reason != "" {
+			fallbacks[i] = reason
+			threads[i] = core.Thread{N: cc.N, CPIBase: cc.CPIBase, Err: core.PessimalErr}
+			continue
+		}
+		threads[i] = core.Thread{N: cc.N, CPIBase: cc.CPIBase, Err: core.EstimatedErrFunc(cfg, cc.Rates)}
+	}
+	a, _ := core.SolvePoly(cfg, threads, r.Theta)
+	for i, reason := range fallbacks {
+		if reason != "" {
+			a.VIdx[i], a.RIdx[i] = 0, len(cfg.TSRs)-1
+		}
+	}
+	mtr := cfg.Evaluate(threads, a, r.Theta)
+	cores := make([]CoreResult, m)
+	for i, th := range threads {
+		bd := cfg.Breakdown(th, a, i)
+		cores[i] = CoreResult{
+			VIdx: bd.VIdx, RIdx: bd.RIdx,
+			V: bd.V, TSR: bd.R,
+			Err: bd.Err, Replays: bd.Replays,
+			Energy: bd.Energy, Time: bd.Time,
+			Fallback: fallbacks[i],
+		}
+	}
+	return &solveResult{
+		Schema: ResultSchema,
+		Cores:  cores,
+		Energy: mtr.Energy,
+		TExec:  mtr.TExec,
+		Cost:   mtr.Cost,
+	}
+}
+
+// dispatch enqueues one solve on its payload-keyed shard and waits.
+// A full queue returns errQueueFull immediately — bounded queues shed,
+// they do not build unbounded latency. delay is the req-slow chaos
+// penalty, paid on the worker so it consumes real shard capacity.
+func (s *Service) dispatch(key uint64, r *SolveRequest, submitter int64, delay time.Duration) (*solveResult, error) {
+	sh := s.shards[key%uint64(len(s.shards))]
+	jb := &job{run: func() *solveResult {
+		if delay > 0 {
+			time.Sleep(delay)
+		}
+		return s.solve(r)
+	}, submitter: submitter, done: make(chan struct{})}
+	select {
+	case sh.jobs <- jb:
+		obs.G(sh.depth).Set(float64(len(sh.jobs)))
+	default:
+		return nil, errQueueFull
+	}
+	<-jb.done
+	return jb.res, jb.err
+}
+
+// handleSolve is the POST /v1/solve handler.
+func (s *Service) handleSolve(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	start := time.Now()
+	obs.C("service.requests").Add(1)
+	body, err := io.ReadAll(io.LimitReader(req.Body, maxBodyBytes+1))
+	if err != nil || len(body) > maxBodyBytes {
+		obs.C("service.requests.client_error").Add(1)
+		http.Error(w, "unreadable or oversized body", http.StatusBadRequest)
+		return
+	}
+	var sr SolveRequest
+	if err := json.Unmarshal(body, &sr); err != nil {
+		obs.C("service.requests.client_error").Add(1)
+		http.Error(w, "bad JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := sr.validate(s.stageSet, s.levels); err != nil {
+		obs.C("service.requests.client_error").Add(1)
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+
+	status := s.process(&sr, w)
+	lat := float64(time.Since(start))
+	obs.H("service.latency_ns").Observe(lat)
+	obs.H("service.latency_ns.tenant." + sr.Tenant).Observe(lat)
+	switch {
+	case status == http.StatusOK:
+		obs.C("service.requests.ok").Add(1)
+	case status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable:
+		// shed/drop counters were bumped at the decision site
+	default:
+		obs.C("service.requests.error").Add(1)
+	}
+}
+
+// process runs one validated request through admit → coalesce → shard →
+// solve → respond and returns the HTTP status it wrote.
+func (s *Service) process(r *SolveRequest, w http.ResponseWriter) int {
+	if !s.admit() {
+		return s.shed(r, w, ShedDraining, http.StatusServiceUnavailable)
+	}
+	defer s.inFlight.Done()
+
+	// Per-request span, chained per tenant (Deps: this request logically
+	// follows the tenant's previous one — the paper's consecutive barrier
+	// intervals) so sched.Analyze recovers per-tenant critical paths.
+	var sp *obs.Span
+	if obs.Enabled() {
+		s.spanMu.Lock()
+		sp = obs.StartSpan("service.request:" + r.Tenant)
+		sp.DependsOn(s.lastSpan[r.Tenant])
+		s.lastSpan[r.Tenant] = sp.ID()
+		s.spanMu.Unlock()
+	}
+	defer sp.End()
+
+	reqDig := requestDigest(r)
+	if faults.RequestDrop(reqDig) {
+		obs.C("service.chaos.req_drop").Add(1)
+		obs.C("service.requests.dropped").Add(1)
+		s.recordFallback(r, -1, ReasonReqDrop)
+		w.Header().Set(HeaderShedReason, ReasonReqDrop)
+		http.Error(w, errDropped.Error(), http.StatusServiceUnavailable)
+		return http.StatusServiceUnavailable
+	}
+
+	// req-slow makes this request's solve slow on the worker (not a sleep
+	// in the handler: the point is to consume shard capacity, so injected
+	// slowness surfaces as queue depth and ultimately sheds, like a real
+	// degraded solver would). Warm hits skip it — cached answers cost no
+	// solver time.
+	delay := faults.RequestDelay(reqDig)
+	if delay > 0 {
+		obs.C("service.chaos.req_slow").Add(1)
+	}
+
+	key := payloadDigest(r)
+	out, err, kind := s.inflight.Do(key, func() (*outcome, error) {
+		if cached, ok := s.warm.get(key); ok {
+			obs.C("service.warm.hit").Add(1)
+			return &outcome{res: cached, warm: true}, nil
+		}
+		obs.C("service.warm.miss").Add(1)
+		res, err := s.dispatch(key, r, sp.ID(), delay)
+		if err != nil {
+			return nil, err
+		}
+		s.warm.put(key, res)
+		return &outcome{res: res}, nil
+	})
+	if kind == flight.Miss {
+		// Coalesce in-flight work only: the entry is forgotten once the
+		// shared solve completes; repeats hit the warm cache instead.
+		s.inflight.Forget(key)
+	} else {
+		obs.C("service.coalesce.hit").Add(1)
+	}
+	if err != nil {
+		if errors.Is(err, errQueueFull) {
+			return s.shed(r, w, ShedQueueFull, http.StatusTooManyRequests)
+		}
+		obs.C("service.solve.errors").Add(1)
+		http.Error(w, "solve failed: "+err.Error(), http.StatusInternalServerError)
+		return http.StatusInternalServerError
+	}
+
+	s.recordSolve(r, out.res)
+	resp := SolveResponse{
+		Schema: ResponseSchema,
+		ID:     DigestID(reqDig),
+		Tenant: r.Tenant,
+		Seq:    r.Seq,
+		Stage:  r.Stage,
+		Theta:  r.Theta,
+		Cores:  out.res.Cores,
+		Energy: out.res.Energy,
+		TExec:  out.res.TExec,
+		Cost:   out.res.Cost,
+	}
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(&resp); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return http.StatusInternalServerError
+	}
+	if kind != flight.Miss {
+		w.Header().Set(HeaderCoalesced, "1")
+	}
+	if out.warm {
+		w.Header().Set(HeaderWarm, "1")
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(buf.Bytes())
+	return http.StatusOK
+}
+
+// shed rejects one request before solving: explicit status, a reason
+// header the load generator keys on, a shed counter, and a shed ledger
+// event so overload behaviour is auditable after the fact.
+func (s *Service) shed(r *SolveRequest, w http.ResponseWriter, reason string, status int) int {
+	switch reason {
+	case ShedQueueFull:
+		obs.C("service.shed.queue_full").Add(1)
+	case ShedDraining:
+		obs.C("service.shed.draining").Add(1)
+	}
+	if telemetry.Enabled() {
+		telemetry.Record(telemetry.Event{
+			Kind:     telemetry.KindShed,
+			Bench:    r.Tenant,
+			Stage:    r.Stage,
+			Solver:   SolverName,
+			Theta:    r.Theta,
+			Interval: r.Seq,
+			Core:     -1,
+			Reason:   reason,
+		})
+	}
+	w.Header().Set(HeaderShedReason, reason)
+	http.Error(w, "shed: "+reason, status)
+	return status
+}
+
+// recordFallback emits one fallback ledger event for a request.
+func (s *Service) recordFallback(r *SolveRequest, coreIdx int, reason string) {
+	if !telemetry.Enabled() {
+		return
+	}
+	telemetry.Record(telemetry.Event{
+		Kind:     telemetry.KindFallback,
+		Bench:    r.Tenant,
+		Stage:    r.Stage,
+		Solver:   SolverName,
+		Theta:    r.Theta,
+		Interval: r.Seq,
+		Core:     coreIdx,
+		Reason:   reason,
+	})
+}
+
+// recordSolve emits the ledger view of one answered request: estimate
+// events for every plausible (core, TSR level) rate the client supplied,
+// a decision event per core, fallback events for guard-rejected cores,
+// and one barrier event. Events are derived from (request, result) only —
+// never from scheduling — so the ledger multiset is identical at any
+// shard count and the canonical sort makes the bytes identical too.
+// Coalesced and warm-started requests emit the same events a fresh solve
+// would: the ledger records intent served, not solver invocations.
+func (s *Service) recordSolve(r *SolveRequest, res *solveResult) {
+	if !telemetry.Enabled() {
+		return
+	}
+	base := telemetry.Event{
+		Bench:    r.Tenant,
+		Stage:    r.Stage,
+		Solver:   SolverName,
+		Theta:    r.Theta,
+		Interval: r.Seq,
+	}
+	for i, cc := range r.Cores {
+		for k, rate := range cc.Rates {
+			if !(rate >= 0 && rate <= 1) {
+				continue // NaN/out-of-range: the fallback event tells the story
+			}
+			e := base
+			e.Kind = telemetry.KindEstimate
+			e.Core = i
+			e.TSR = s.tsrs[k]
+			e.EstErr = rate
+			e.ActErr = rate
+			telemetry.Record(e)
+		}
+		cr := res.Cores[i]
+		e := base
+		e.Kind = telemetry.KindDecision
+		e.Core = i
+		e.V = cr.V
+		e.TSR = cr.TSR
+		e.EstErr = cr.Err
+		e.ActErr = cr.Err
+		e.Replays = cr.Replays
+		e.Energy = cr.Energy
+		e.Time = cr.Time
+		e.Instrs = cc.N
+		e.IntervalCycles = cc.N * cc.CPIBase
+		telemetry.Record(e)
+		if cr.Fallback != "" {
+			s.recordFallback(r, i, cr.Fallback)
+		}
+	}
+	e := base
+	e.Kind = telemetry.KindBarrier
+	e.Core = -1
+	e.Cores = len(r.Cores)
+	e.Energy = res.Energy
+	e.Time = res.TExec
+	telemetry.Record(e)
+}

@@ -1,0 +1,638 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"synts/internal/faults"
+	"synts/internal/obs"
+	"synts/internal/sched"
+	"synts/internal/telemetry"
+)
+
+// newTestService builds a Service plus an httptest server around it and
+// tears both down with the test.
+func newTestService(t *testing.T, cfg Config) (*Service, *httptest.Server) {
+	t.Helper()
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mux := http.NewServeMux()
+	svc.Register(mux)
+	srv := httptest.NewServer(mux)
+	t.Cleanup(func() {
+		srv.Close()
+		svc.Drain()
+		svc.Close()
+	})
+	return svc, srv
+}
+
+// validRequest is a well-formed 2-core request the platform accepts.
+func validRequest(tenant string, seq int) *SolveRequest {
+	return &SolveRequest{
+		Tenant: tenant,
+		Seq:    seq,
+		Stage:  "SimpleALU",
+		Theta:  1,
+		Cores: []CoreCurve{
+			{N: 50000, CPIBase: 1.2, Rates: []float64{0.2, 0.1, 0.05, 0.01, 0.001, 0}},
+			{N: 40000, CPIBase: 1.1, Rates: []float64{0.3, 0.15, 0.04, 0.02, 0.002, 0}},
+		},
+	}
+}
+
+func postSolve(t *testing.T, url string, r *SolveRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url+"/v1/solve", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/solve: %v", err)
+	}
+	return resp
+}
+
+func decodeSolve(t *testing.T, resp *http.Response) *SolveResponse {
+	t.Helper()
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %s", resp.StatusCode, raw)
+	}
+	var sr SolveResponse
+	if err := json.Unmarshal(raw, &sr); err != nil {
+		t.Fatalf("unmarshal response: %v\n%s", err, raw)
+	}
+	return &sr
+}
+
+func TestSolveEndpoint(t *testing.T) {
+	_, srv := newTestService(t, Config{Shards: 2, QueueLen: 8})
+	req := validRequest("fft", 3)
+	resp := postSolve(t, srv.URL, req)
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("Content-Type %q", ct)
+	}
+	sr := decodeSolve(t, resp)
+	if sr.Schema != ResponseSchema {
+		t.Errorf("schema %q, want %q", sr.Schema, ResponseSchema)
+	}
+	if sr.Tenant != "fft" || sr.Seq != 3 || sr.Stage != "SimpleALU" {
+		t.Errorf("envelope echo wrong: %+v", sr)
+	}
+	if want := DigestID(requestDigest(req)); sr.ID != want {
+		t.Errorf("id %q, want %q", sr.ID, want)
+	}
+	if len(sr.Cores) != 2 {
+		t.Fatalf("%d cores in response, want 2", len(sr.Cores))
+	}
+	for i, c := range sr.Cores {
+		if c.Fallback != "" {
+			t.Errorf("core %d unexpectedly fell back: %q", i, c.Fallback)
+		}
+		if c.V <= 0 || c.TSR <= 0 || c.TSR > 1 {
+			t.Errorf("core %d implausible assignment: %+v", i, c)
+		}
+	}
+	if sr.Energy <= 0 || sr.TExec <= 0 || sr.Cost <= 0 {
+		t.Errorf("implausible totals: %+v", sr)
+	}
+
+	// Health endpoints.
+	for _, path := range []string{"/healthz", "/readyz"} {
+		hr, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hr.Body.Close()
+		if hr.StatusCode != http.StatusOK {
+			t.Errorf("%s status %d", path, hr.StatusCode)
+		}
+	}
+}
+
+func TestSolveRejectsBadRequests(t *testing.T) {
+	_, srv := newTestService(t, Config{Shards: 1, QueueLen: 4})
+
+	if resp, err := http.Get(srv.URL + "/v1/solve"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET status %d, want 405", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Post(srv.URL+"/v1/solve", "application/json", strings.NewReader("{nope")); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("bad JSON status %d, want 400", resp.StatusCode)
+		}
+	}
+	mutations := []struct {
+		name string
+		mut  func(*SolveRequest)
+	}{
+		{"empty tenant", func(r *SolveRequest) { r.Tenant = "" }},
+		{"negative seq", func(r *SolveRequest) { r.Seq = -1 }},
+		{"unknown stage", func(r *SolveRequest) { r.Stage = "FloatALU" }},
+		{"negative theta", func(r *SolveRequest) { r.Theta = -0.5 }},
+		{"no cores", func(r *SolveRequest) { r.Cores = nil }},
+		{"too many cores", func(r *SolveRequest) {
+			for len(r.Cores) <= MaxCores {
+				r.Cores = append(r.Cores, r.Cores[0])
+			}
+		}},
+		{"rate count mismatch", func(r *SolveRequest) { r.Cores[0].Rates = r.Cores[0].Rates[:3] }},
+		{"zero cpi", func(r *SolveRequest) { r.Cores[1].CPIBase = 0 }},
+		{"negative instructions", func(r *SolveRequest) { r.Cores[0].N = -1 }},
+	}
+	for _, m := range mutations {
+		req := validRequest("lu-contig", 0)
+		m.mut(req)
+		resp := postSolve(t, srv.URL, req)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", m.name, resp.StatusCode)
+		}
+	}
+}
+
+// Implausible (but JSON-representable) curves must not 400: the guard
+// band pins those cores to nominal and reports the reason in-band.
+func TestGuardFallback(t *testing.T) {
+	svc, srv := newTestService(t, Config{Shards: 1, QueueLen: 4})
+	req := validRequest("ocean", 0)
+	req.Cores[0].Rates = []float64{1.5, 1.5, 1.5, 1.5, 1.5, 1.5} // out of range
+	sr := decodeSolve(t, postSolve(t, srv.URL, req))
+	c := sr.Cores[0]
+	if c.Fallback == "" {
+		t.Fatalf("core 0 should have fallen back: %+v", c)
+	}
+	if c.VIdx != 0 || c.RIdx != svc.levels-1 {
+		t.Errorf("fallback core not pinned to nominal: %+v", c)
+	}
+	if sr.Cores[1].Fallback != "" {
+		t.Errorf("healthy core 1 fell back: %+v", sr.Cores[1])
+	}
+}
+
+// A repeated payload under a new seq must be served from the warm-start
+// cache with an identical solve and the X-Synts-Warm marker.
+func TestWarmStartRepeat(t *testing.T) {
+	_, srv := newTestService(t, Config{Shards: 2, QueueLen: 8})
+	first := validRequest("radix", 0)
+	r1 := postSolve(t, srv.URL, first)
+	if r1.Header.Get(HeaderWarm) != "" {
+		t.Errorf("first request claims a warm hit")
+	}
+	s1 := decodeSolve(t, r1)
+
+	repeat := validRequest("radix", 1) // same payload, next interval
+	r2 := postSolve(t, srv.URL, repeat)
+	if r2.Header.Get(HeaderWarm) != "1" {
+		t.Errorf("repeat missing %s header", HeaderWarm)
+	}
+	s2 := decodeSolve(t, r2)
+	if s2.Seq != 1 || s2.ID == s1.ID {
+		t.Errorf("warm response did not get its own envelope: %+v vs %+v", s1, s2)
+	}
+	b1, _ := json.Marshal(s1.Cores)
+	b2, _ := json.Marshal(s2.Cores)
+	if !bytes.Equal(b1, b2) || s1.Energy != s2.Energy || s1.TExec != s2.TExec {
+		t.Errorf("warm solve differs from original")
+	}
+}
+
+// A warm dir shared between two service instances carries solves across
+// restarts: the second instance answers a payload the first solved with a
+// warm hit on its very first request.
+func TestWarmStartPersistsAcrossRestart(t *testing.T) {
+	dir := t.TempDir()
+	req := validRequest("barnes", 0)
+
+	svc1, err := New(Config{Shards: 1, QueueLen: 4, WarmDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux1 := http.NewServeMux()
+	svc1.Register(mux1)
+	srv1 := httptest.NewServer(mux1)
+	s1 := decodeSolve(t, postSolve(t, srv1.URL, req))
+	srv1.Close()
+	svc1.Drain()
+	svc1.Close()
+
+	_, srv2 := newTestService(t, Config{Shards: 1, QueueLen: 4, WarmDir: dir})
+	r2 := postSolve(t, srv2.URL, req)
+	if r2.Header.Get(HeaderWarm) != "1" {
+		t.Errorf("restarted service missed the persisted warm entry")
+	}
+	s2 := decodeSolve(t, r2)
+	if s1.Energy != s2.Energy || s1.TExec != s2.TExec || len(s1.Cores) != len(s2.Cores) {
+		t.Errorf("persisted solve differs: %+v vs %+v", s1, s2)
+	}
+}
+
+// Coalescing, deterministically: the test itself holds the in-flight
+// entry for a payload, so the HTTP request is guaranteed to join it as a
+// waiter and must come back marked coalesced with the held result.
+func TestCoalesceJoinsInFlightSolve(t *testing.T) {
+	svc, srv := newTestService(t, Config{Shards: 1, QueueLen: 4})
+	req := validRequest("water-sp", 7)
+	key := payloadDigest(req)
+	want := svc.solve(req)
+
+	hold := make(chan struct{})
+	started := make(chan struct{})
+	go svc.inflight.Do(key, func() (*outcome, error) {
+		close(started)
+		<-hold
+		return &outcome{res: want}, nil
+	})
+	<-started
+
+	done := make(chan *http.Response, 1)
+	go func() {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			close(done)
+			return
+		}
+		done <- resp
+	}()
+	// The request must be blocked on the shared call, not answered.
+	select {
+	case <-done:
+		t.Fatal("request completed while its solve was still held")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(hold)
+	resp := <-done
+	if resp == nil {
+		t.Fatal("request failed")
+	}
+	if resp.Header.Get(HeaderCoalesced) != "1" {
+		t.Errorf("missing %s header", HeaderCoalesced)
+	}
+	sr := decodeSolve(t, resp)
+	if sr.Energy != want.Energy || sr.TExec != want.TExec {
+		t.Errorf("coalesced response differs from the shared solve")
+	}
+}
+
+// Queue-full shedding, deterministically: the only shard's worker is
+// occupied and its queue filled by test-injected jobs, so the next
+// request must shed with 429, the reason header, and a shed ledger event.
+func TestQueueFullSheds(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	svc, srv := newTestService(t, Config{Shards: 1, QueueLen: 1})
+
+	block := make(chan struct{})
+	running := make(chan struct{})
+	busy := &job{run: func() *solveResult { close(running); <-block; return nil }, done: make(chan struct{})}
+	filler := &job{run: func() *solveResult { return nil }, done: make(chan struct{})}
+	svc.shards[0].jobs <- busy
+	<-running // worker is now blocked inside busy
+	svc.shards[0].jobs <- filler
+
+	resp := postSolve(t, srv.URL, validRequest("cholesky", 2))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	close(block)
+	<-busy.done
+	<-filler.done
+
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderShedReason); got != ShedQueueFull {
+		t.Errorf("%s = %q, want %q", HeaderShedReason, got, ShedQueueFull)
+	}
+	found := false
+	for _, e := range telemetry.Events() {
+		if e.Kind == telemetry.KindShed && e.Reason == ShedQueueFull && e.Bench == "cholesky" {
+			if err := e.Validate(); err != nil {
+				t.Errorf("shed event invalid: %v", err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no queue-full shed event in the ledger")
+	}
+}
+
+// The drain regression: an in-flight request must complete with 200 while
+// a post-drain request gets 503 draining, and /readyz flips.
+func TestDrainCompletesInFlight(t *testing.T) {
+	svc, srv := newTestService(t, Config{Shards: 1, QueueLen: 4})
+	req := validRequest("fmm", 0)
+
+	// Occupy the only worker so the request is provably in flight (its
+	// job enqueued behind the blocker) when Drain begins.
+	block := make(chan struct{})
+	running := make(chan struct{})
+	busy := &job{run: func() *solveResult { close(running); <-block; return nil }, done: make(chan struct{})}
+	svc.shards[0].jobs <- busy
+	<-running
+
+	inflightDone := make(chan *http.Response, 1)
+	go func() {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(srv.URL+"/v1/solve", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Error(err)
+			close(inflightDone)
+			return
+		}
+		inflightDone <- resp
+	}()
+	// Wait until the request's job sits in the shard queue: it has been
+	// admitted and is blocked behind the busy worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for len(svc.shards[0].jobs) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the shard queue")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	drained := make(chan struct{})
+	go func() { svc.Drain(); close(drained) }()
+
+	// Drain must flip /readyz before it completes.
+	for {
+		hr, err := http.Get(srv.URL + "/readyz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, hr.Body)
+		hr.Body.Close()
+		if hr.StatusCode == http.StatusServiceUnavailable {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("readyz never flipped to 503")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case <-drained:
+		t.Fatal("Drain returned while a request was still in flight")
+	default:
+	}
+
+	// New work is refused with the draining reason.
+	late := postSolve(t, srv.URL, validRequest("fmm", 1))
+	io.Copy(io.Discard, late.Body)
+	late.Body.Close()
+	if late.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("post-drain status %d, want 503", late.StatusCode)
+	}
+	if got := late.Header.Get(HeaderShedReason); got != ShedDraining {
+		t.Errorf("post-drain %s = %q, want %q", HeaderShedReason, got, ShedDraining)
+	}
+
+	// The in-flight request still completes successfully.
+	close(block)
+	resp := <-inflightDone
+	if resp == nil {
+		t.Fatal("in-flight request failed")
+	}
+	sr := decodeSolve(t, resp)
+	if sr.Tenant != "fmm" || len(sr.Cores) != len(req.Cores) {
+		t.Errorf("in-flight request got a mangled solve: %+v", sr)
+	}
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Drain did not return after the in-flight request completed")
+	}
+}
+
+// Satellite: the req-slow and req-drop chaos classes are deterministic
+// per request ID, delay/fail at the request layer, and leave an auditable
+// fallback event behind.
+func TestChaosRequestClasses(t *testing.T) {
+	// req-drop rejects the request before it reaches a shard: 503, a shed
+	// header naming the class, and a validated fallback event in the ledger.
+	t.Run("req-drop", func(t *testing.T) {
+		telemetry.Enable()
+		defer telemetry.Disable()
+		if err := faults.Enable("req-drop=1", 42); err != nil {
+			t.Fatal(err)
+		}
+		defer faults.Disable()
+
+		_, srv := newTestService(t, Config{Shards: 1, QueueLen: 4})
+		resp := postSolve(t, srv.URL, validRequest("raytrace", 5))
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Errorf("dropped request status %d, want 503", resp.StatusCode)
+		}
+		if got := resp.Header.Get(HeaderShedReason); got != ReasonReqDrop {
+			t.Errorf("%s = %q, want %q", HeaderShedReason, got, ReasonReqDrop)
+		}
+		found := false
+		for _, e := range telemetry.Events() {
+			if e.Kind == telemetry.KindFallback && e.Reason == ReasonReqDrop {
+				if err := e.Validate(); err != nil {
+					t.Errorf("req-drop fallback event invalid: %v", err)
+				}
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("no req-drop fallback event in the ledger")
+		}
+	})
+
+	// req-slow pays its penalty on the shard worker, so the request still
+	// succeeds — just no faster than ReqSlowDuration end to end.
+	t.Run("req-slow", func(t *testing.T) {
+		if err := faults.Enable("req-slow=1", 42); err != nil {
+			t.Fatal(err)
+		}
+		defer faults.Disable()
+
+		_, srv := newTestService(t, Config{Shards: 1, QueueLen: 4})
+		start := time.Now()
+		resp := postSolve(t, srv.URL, validRequest("raytrace", 5))
+		elapsed := time.Since(start)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("slowed request status %d, want 200", resp.StatusCode)
+		}
+		if elapsed < faults.ReqSlowDuration {
+			t.Errorf("req-slow=1 request finished in %v, want >= %v", elapsed, faults.ReqSlowDuration)
+		}
+	})
+}
+
+// Satellite: a seeded stream replayed against a 1-shard and a 4-shard
+// instance must produce byte-identical response bodies and an identical
+// canonical-order event ledger.
+func TestDeterminismAcrossShardCounts(t *testing.T) {
+	stream := GenStream(GenOptions{Seed: 99, Cores: 3}, 40)
+
+	run := func(shards int) ([][]byte, []byte) {
+		telemetry.Enable()
+		defer telemetry.Disable()
+		_, srv := newTestService(t, Config{Shards: shards, QueueLen: 64})
+		bodies := make([][]byte, 0, len(stream))
+		for i := range stream {
+			resp := postSolve(t, srv.URL, &stream[i])
+			raw, err := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil || resp.StatusCode != http.StatusOK {
+				t.Fatalf("shards=%d request %d: status %d err %v", shards, i, resp.StatusCode, err)
+			}
+			bodies = append(bodies, raw)
+		}
+		var ledger bytes.Buffer
+		if err := telemetry.WriteJSONL(&ledger, telemetry.Events()); err != nil {
+			t.Fatalf("shards=%d: write ledger: %v", shards, err)
+		}
+		return bodies, ledger.Bytes()
+	}
+
+	bodies1, ledger1 := run(1)
+	bodies4, ledger4 := run(4)
+	for i := range bodies1 {
+		if !bytes.Equal(bodies1[i], bodies4[i]) {
+			t.Fatalf("response %d differs between -j 1 and -j 4:\n%s\nvs\n%s", i, bodies1[i], bodies4[i])
+		}
+	}
+	if !bytes.Equal(ledger1, ledger4) {
+		t.Errorf("canonical ledgers differ between shard counts (%d vs %d bytes)", len(ledger1), len(ledger4))
+	}
+	if len(ledger1) == 0 {
+		t.Errorf("empty ledger")
+	}
+}
+
+// Tentpole acceptance: per-request spans plus shard task spans
+// reconstruct into a valid sched DAG, with task busy time attributed to
+// the service.request submitter stage.
+func TestRequestSpansFormSchedDAG(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	svc, err := New(Config{Shards: 2, QueueLen: 16}) // after Enable: workers get TIDs
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := http.NewServeMux()
+	svc.Register(mux)
+	srv := httptest.NewServer(mux)
+	defer func() { srv.Close(); svc.Drain(); svc.Close() }()
+
+	stream := GenStream(GenOptions{Seed: 7, Cores: 2, RepeatFrac: -1}, 12)
+	for i := range stream {
+		resp := postSolve(t, srv.URL, &stream[i])
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	recs, dropped := obs.Default().SpanRecords()
+	if dropped != 0 {
+		t.Fatalf("%d span records dropped", dropped)
+	}
+	reqSpans, taskSpans := 0, 0
+	ids := map[int64]bool{}
+	for _, r := range recs {
+		ids[r.ID] = true
+		switch sched.StageOf(r.Name) {
+		case "service.request":
+			reqSpans++
+		case sched.TaskSpanName:
+			taskSpans++
+		}
+	}
+	if reqSpans != len(stream) {
+		t.Errorf("%d service.request spans, want %d", reqSpans, len(stream))
+	}
+	if taskSpans == 0 {
+		t.Errorf("no pool.task spans from the shard workers")
+	}
+	// Every Deps/Submitter edge refers to a real span.
+	for _, r := range recs {
+		if r.Submitter != 0 && !ids[r.Submitter] {
+			t.Errorf("span %d (%s) has dangling submitter %d", r.ID, r.Name, r.Submitter)
+		}
+		for _, d := range r.Deps {
+			if !ids[d] {
+				t.Errorf("span %d (%s) has dangling dep %d", r.ID, r.Name, d)
+			}
+		}
+	}
+
+	an := sched.Analyze(recs, sched.Options{})
+	if an.WorkerBusyNs <= 0 || an.CriticalPathNs <= 0 {
+		t.Fatalf("degenerate analysis: %+v", an)
+	}
+	foundSubmitter := false
+	for _, st := range an.Submitters {
+		if st.Stage == "service.request" && st.TotalNs > 0 {
+			foundSubmitter = true
+		}
+	}
+	if !foundSubmitter {
+		t.Errorf("no task busy time attributed to service.request submitters: %+v", an.Submitters)
+	}
+}
+
+func TestGenStreamDeterministicAndValid(t *testing.T) {
+	a := GenStream(GenOptions{Seed: 5}, 100)
+	b := GenStream(GenOptions{Seed: 5}, 100)
+	if len(a) != 100 || len(b) != 100 {
+		t.Fatalf("stream lengths %d/%d", len(a), len(b))
+	}
+	ab, _ := json.Marshal(a)
+	bb, _ := json.Marshal(b)
+	if !bytes.Equal(ab, bb) {
+		t.Fatal("same seed produced different streams")
+	}
+	c := GenStream(GenOptions{Seed: 6}, 100)
+	cb, _ := json.Marshal(c)
+	if bytes.Equal(ab, cb) {
+		t.Fatal("different seeds produced identical streams")
+	}
+	stages := map[string]bool{"Decode": true, "SimpleALU": true, "ComplexALU": true}
+	repeated := 0
+	seen := map[uint64]bool{}
+	for i := range a {
+		if err := a[i].validate(stages, 6); err != nil {
+			t.Fatalf("generated request %d invalid: %v", i, err)
+		}
+		key := payloadDigest(&a[i])
+		if seen[key] {
+			repeated++
+		}
+		seen[key] = true
+	}
+	if repeated == 0 {
+		t.Errorf("stream has no repeated payloads; coalesce/warm paths never exercised")
+	}
+}

@@ -1,0 +1,107 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+
+	"synts/internal/ckpt"
+	"synts/internal/obs"
+)
+
+// warmCache is the repeat-tenant warm-start layer: completed solveResults
+// keyed by payload digest, held in a bounded in-memory map and (when a
+// warm dir is configured) persisted through the internal/ckpt store so a
+// restarted daemon starts warm. The ckpt Key fingerprints the solver grid
+// (stages, voltage/TSR tables, penalty), so a warm dir written by a
+// server with a different platform is ignored entry by entry rather than
+// trusted — the same stale-directory defence the batch resume path has.
+type warmCache struct {
+	mu    sync.Mutex
+	m     map[uint64]*solveResult
+	cap   int
+	store *ckpt.Store // nil = memory only
+}
+
+// newWarmCache opens the warm layer. dir == "" keeps it memory-only;
+// memCap <= 0 uses a default sized for CI loads.
+func newWarmCache(dir string, memCap int, gridKey ckpt.Key) (*warmCache, error) {
+	if memCap <= 0 {
+		memCap = 4096
+	}
+	w := &warmCache{m: make(map[uint64]*solveResult), cap: memCap}
+	if dir != "" {
+		st, err := ckpt.Open(dir, gridKey)
+		if err != nil {
+			return nil, err
+		}
+		w.store = st
+	}
+	return w, nil
+}
+
+// entryName is the ckpt experiment name for a payload digest.
+func entryName(key uint64) string { return "solve-" + DigestID(key) }
+
+// persisted counts the usable on-disk entries (startup logging).
+func (w *warmCache) persisted() int {
+	if w.store == nil {
+		return 0
+	}
+	return len(w.store.Names())
+}
+
+// get returns the cached result for a payload digest, consulting memory
+// first and the ckpt store second. A disk hit is re-validated by schema
+// before use and promoted into memory.
+func (w *warmCache) get(key uint64) (*solveResult, bool) {
+	w.mu.Lock()
+	r, ok := w.m[key]
+	w.mu.Unlock()
+	if ok {
+		return r, true
+	}
+	if w.store == nil {
+		return nil, false
+	}
+	raw, ok := w.store.Load(entryName(key))
+	if !ok {
+		return nil, false
+	}
+	var res solveResult
+	if err := json.Unmarshal(raw, &res); err != nil || res.Schema != ResultSchema {
+		return nil, false
+	}
+	w.put(key, &res)
+	return &res, true
+}
+
+// put records a completed result. Past the in-memory cap new entries are
+// not cached (counted, never silently) — a service under churn must not
+// grow without bound; the disk store still takes the entry, so a restart
+// can recover it. Save errors (disk full, injected ckpt-write-fail chaos)
+// are counted and swallowed: warm start is an optimisation, not
+// correctness.
+func (w *warmCache) put(key uint64, r *solveResult) {
+	w.mu.Lock()
+	_, exists := w.m[key]
+	full := len(w.m) >= w.cap
+	if !exists && !full {
+		w.m[key] = r
+	}
+	w.mu.Unlock()
+	if exists {
+		return
+	}
+	if full {
+		obs.C("service.warm.evicted").Add(1)
+	}
+	if w.store != nil {
+		raw, err := json.Marshal(r)
+		if err == nil {
+			err = w.store.Save(entryName(key), raw)
+		}
+		if err != nil {
+			obs.C("service.warm.save_errors").Add(1)
+		}
+	}
+}

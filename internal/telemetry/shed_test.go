@@ -1,0 +1,56 @@
+package telemetry
+
+import "testing"
+
+func TestShedEventValidate(t *testing.T) {
+	good := Event{
+		Kind:   KindShed,
+		Bench:  "fft",
+		Stage:  "SimpleALU",
+		Solver: "service-poly",
+		Theta:  1,
+		Core:   -1,
+		Reason: "queue-full",
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid shed event rejected: %v", err)
+	}
+	draining := good
+	draining.Reason = "draining"
+	if err := draining.Validate(); err != nil {
+		t.Fatalf("draining shed event rejected: %v", err)
+	}
+
+	missingReason := good
+	missingReason.Reason = ""
+	if err := missingReason.Validate(); err == nil {
+		t.Errorf("shed event without a reason validated")
+	}
+	wrongCore := good
+	wrongCore.Core = 0
+	if err := wrongCore.Validate(); err == nil {
+		t.Errorf("shed event with core 0 validated")
+	}
+	// Non-reasoned kinds must not carry a shed reason.
+	leaked := Event{Kind: KindBarrier, Core: -1, Cores: 2, Reason: "queue-full"}
+	if err := leaked.Validate(); err == nil {
+		t.Errorf("barrier event carrying a reason validated")
+	}
+}
+
+// Shed events survive the canonical round trip with the rest of the
+// ledger, so service ledgers stay diffable like batch ones.
+func TestShedEventRoundTrip(t *testing.T) {
+	var l Ledger
+	l.Record(Event{Kind: KindShed, Bench: "lu-contig", Stage: "Decode", Solver: "service-poly", Core: -1, Reason: "draining"})
+	l.Record(Event{Kind: KindShed, Bench: "fft", Stage: "Decode", Solver: "service-poly", Core: -1, Reason: "queue-full"})
+	evs := l.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d events recorded", len(evs))
+	}
+	for i := range evs {
+		if err := evs[i].Validate(); err != nil {
+			t.Errorf("event %d: %v", i, err)
+		}
+	}
+}

@@ -55,6 +55,12 @@ const (
 	// core's sampling estimates implausible (Reason says why) and pinned
 	// that core to the nominal V/TSR instead of acting on them.
 	KindFallback = "fallback"
+	// KindShed is one solver-service admission rejection: a request was
+	// turned away before solving (Reason says why — queue-full or
+	// draining), Core = -1. Shed events are how the service's load-shedding
+	// behaviour becomes auditable in the same canonical ledger as the
+	// decisions it protected.
+	KindShed = "shed"
 )
 
 // Scope names the experiment context an event was recorded under.
@@ -110,7 +116,8 @@ type Event struct {
 	IntervalCycles float64 `json:"interval_cycles"`
 	// Reason is the guard-band rejection class on fallback events
 	// (nan-estimate, out-of-range, non-monotone, nonzero-at-nominal,
-	// divergence); empty on every other kind.
+	// divergence) or the admission rejection class on shed events
+	// (queue-full, draining); empty on every other kind.
 	Reason string `json:"reason,omitempty"`
 }
 
@@ -508,15 +515,19 @@ func ReadJSONLFile(path string) ([]Event, error) {
 // Validate checks one event against the synts-events/v1 contract.
 func (e *Event) Validate() error {
 	switch e.Kind {
-	case KindDecision, KindBarrier, KindEstimate, KindReplay, KindFallback:
+	case KindDecision, KindBarrier, KindEstimate, KindReplay, KindFallback, KindShed:
 	default:
 		return fmt.Errorf("unknown event kind %q", e.Kind)
 	}
-	if e.Kind == KindFallback && e.Reason == "" {
-		return fmt.Errorf("fallback event: empty reason")
+	reasoned := e.Kind == KindFallback || e.Kind == KindShed
+	if reasoned && e.Reason == "" {
+		return fmt.Errorf("%s event: empty reason", e.Kind)
 	}
-	if e.Kind != KindFallback && e.Reason != "" {
+	if !reasoned && e.Reason != "" {
 		return fmt.Errorf("%s event: unexpected reason %q", e.Kind, e.Reason)
+	}
+	if e.Kind == KindShed && e.Core != -1 {
+		return fmt.Errorf("shed event: core %d, want -1", e.Core)
 	}
 	if e.Interval < 0 {
 		return fmt.Errorf("%s event: negative interval %d", e.Kind, e.Interval)
