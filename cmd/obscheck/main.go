@@ -43,6 +43,7 @@ func main() {
 	sweepPath := flag.String("sweep", "", "path to a `synts sweep` artifact (synts-sweep/v1)")
 	loadPath := flag.String("load", "", "path to a `synts loadgen` report (synts-load/v1)")
 	allowEmpty := flag.Bool("allow-empty", false, "accept a ledger or profile with zero events/samples (schema is still enforced)")
+	eventsRequire := flag.String("events-require", "decision,barrier,estimate", "comma-separated event `kinds` the -events ledger must contain (a router ledger carries breaker,failover instead of the batch kinds)")
 	flag.Parse()
 	if *statsPath == "" && *tracePath == "" && *eventsPath == "" && *ckptPath == "" && *simprofPath == "" && *sweepPath == "" && *loadPath == "" {
 		fmt.Fprintln(os.Stderr, "obscheck: nothing to check (need -stats, -trace, -events, -ckpt, -simprof, -sweep and/or -load)")
@@ -62,7 +63,7 @@ func main() {
 	}
 	check(*statsPath, checkStats)
 	check(*tracePath, checkTrace)
-	check(*eventsPath, func(p string) error { return checkEvents(p, *allowEmpty) })
+	check(*eventsPath, func(p string) error { return checkEvents(p, *allowEmpty, *eventsRequire) })
 	check(*ckptPath, checkCkpt)
 	check(*simprofPath, func(p string) error { return checkSimprof(p, *eventsPath, *allowEmpty) })
 	check(*sweepPath, checkSweep)
@@ -221,7 +222,9 @@ func checkTrace(path string) error {
 
 // checkEvents enforces the synts-events/v1 ledger contract: the schema
 // header, per-event field validity (kinds, probability ranges, sign
-// constraints), presence of each event kind the pipeline promises, and —
+// constraints), presence of each event kind -events-require names (the
+// batch pipeline promises decision/barrier/estimate, the default; a
+// router ledger promises breaker/failover instead), and —
 // by re-serialising and byte-comparing — that the file is in the
 // canonical order WriteJSONL defines, so ledgers stay diffable across
 // runs and -j values.
@@ -246,7 +249,7 @@ func checkCkpt(dir string) error {
 	return nil
 }
 
-func checkEvents(path string, allowEmpty bool) error {
+func checkEvents(path string, allowEmpty bool, require string) error {
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
@@ -268,7 +271,10 @@ func checkEvents(path string, allowEmpty bool) error {
 		}
 		kinds[events[i].Kind]++
 	}
-	for _, kind := range []string{telemetry.KindDecision, telemetry.KindBarrier, telemetry.KindEstimate} {
+	for _, kind := range strings.Split(require, ",") {
+		if kind = strings.TrimSpace(kind); kind == "" {
+			continue
+		}
 		if kinds[kind] == 0 {
 			return fmt.Errorf("ledger has no %q events", kind)
 		}

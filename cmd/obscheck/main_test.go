@@ -42,7 +42,7 @@ func goodEvents() []telemetry.Event {
 
 func TestCheckEventsAcceptsCanonicalLedger(t *testing.T) {
 	path := writeLedger(t, goodEvents())
-	if err := checkEvents(path, false); err != nil {
+	if err := checkEvents(path, false, "decision,barrier,estimate"); err != nil {
 		t.Fatalf("checkEvents rejected a canonical ledger: %v", err)
 	}
 }
@@ -52,13 +52,13 @@ func TestCheckEventsRejects(t *testing.T) {
 		evs := goodEvents()
 		evs[0].EstErr = 2 // outside [0,1]
 		path := writeLedger(t, evs)
-		if err := checkEvents(path, false); err == nil {
+		if err := checkEvents(path, false, "decision,barrier,estimate"); err == nil {
 			t.Fatal("accepted a ledger with est_err > 1")
 		}
 	})
 	t.Run("missing kind", func(t *testing.T) {
 		path := writeLedger(t, goodEvents()[:2]) // no estimate event
-		if err := checkEvents(path, false); err == nil {
+		if err := checkEvents(path, false, "decision,barrier,estimate"); err == nil {
 			t.Fatal("accepted a ledger with no estimate events")
 		}
 	})
@@ -77,7 +77,7 @@ func TestCheckEventsRejects(t *testing.T) {
 		if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := checkEvents(path, false); err == nil {
+		if err := checkEvents(path, false, "decision,barrier,estimate"); err == nil {
 			t.Fatal("accepted a ledger in non-canonical order")
 		}
 	})
@@ -86,29 +86,53 @@ func TestCheckEventsRejects(t *testing.T) {
 		if err := os.WriteFile(path, []byte(`{"schema":"synts-events/v0"}`+"\n"), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		if err := checkEvents(path, false); err == nil {
+		if err := checkEvents(path, false, "decision,barrier,estimate"); err == nil {
 			t.Fatal("accepted a ledger with the wrong schema version")
 		}
 	})
 	t.Run("empty ledger", func(t *testing.T) {
 		path := writeLedger(t, nil)
-		if err := checkEvents(path, false); err == nil {
+		if err := checkEvents(path, false, "decision,barrier,estimate"); err == nil {
 			t.Fatal("accepted an event-free ledger")
 		}
 	})
 }
 
+// A router ledger carries breaker and failover events instead of the
+// batch pipeline's kinds; -events-require swaps the presence check while
+// everything else (validity, canonical order) is still enforced.
+func TestCheckEventsRequireRouterKinds(t *testing.T) {
+	routerEvents := []telemetry.Event{
+		{Kind: telemetry.KindBreaker, Bench: "127.0.0.1:9301", Solver: "fleet-route",
+			Core: -1, Reason: "open:consecutive-failures"},
+		{Kind: telemetry.KindFailover, Bench: "127.0.0.1:9301", Solver: "fleet-route",
+			Core: -1, Reason: "backend-error"},
+	}
+	path := writeLedger(t, routerEvents)
+	if err := checkEvents(path, false, "breaker,failover"); err != nil {
+		t.Fatalf("checkEvents rejected a router ledger: %v", err)
+	}
+	// The same ledger fails the batch-kind default: it has no decisions.
+	if err := checkEvents(path, false, "decision,barrier,estimate"); err == nil {
+		t.Fatal("router ledger passed the batch-kind presence check")
+	}
+	// And a batch ledger fails the router requirement.
+	if err := checkEvents(writeLedger(t, goodEvents()), false, "breaker,failover"); err == nil {
+		t.Fatal("batch ledger passed the router-kind presence check")
+	}
+}
+
 // -allow-empty downgrades the zero-events error (schema is still checked).
 func TestCheckEventsAllowEmpty(t *testing.T) {
 	path := writeLedger(t, nil)
-	if err := checkEvents(path, true); err != nil {
+	if err := checkEvents(path, true, "decision,barrier,estimate"); err != nil {
 		t.Fatalf("-allow-empty still rejected a header-only ledger: %v", err)
 	}
 	bad := filepath.Join(t.TempDir(), "events.jsonl")
 	if err := os.WriteFile(bad, []byte(`{"schema":"synts-events/v0"}`+"\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := checkEvents(bad, true); err == nil {
+	if err := checkEvents(bad, true, "decision,barrier,estimate"); err == nil {
 		t.Fatal("-allow-empty accepted a wrong schema version")
 	}
 }

@@ -23,7 +23,10 @@ import (
 func runLoadgenCmd(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	url := fs.String("url", "http://127.0.0.1:9187", "base URL of the synts serve instance")
+	url := fs.String("url", "http://127.0.0.1:9187", "base URL of the synts serve instance (comma-separated `list` fans out over the fleet client's consistent-hash failover)")
+	timeout := fs.Duration("timeout", 0, "per-request deadline, retries and hedges included (0 = fleet client default 30s)")
+	retries := fs.Int("retries", 0, "extra attempts per logical request (seeded full-jitter backoff; 0 = single-shot)")
+	hedge := fs.Bool("hedge", false, "launch a hedged second attempt after the p95-derived delay")
 	rps := fs.Float64("rps", 50, "target open-loop arrival rate")
 	duration := fs.Duration("duration", 5*time.Second, "run length (request count = rps * duration, fixed up front)")
 	seed := fs.Int64("seed", 1, "request-stream seed (same seed = identical request bodies)")
@@ -48,6 +51,9 @@ func runLoadgenCmd(args []string, stdout, stderr io.Writer) error {
 
 	rep, err := service.RunLoad(service.LoadOptions{
 		URL:      *url,
+		Timeout:  *timeout,
+		Retries:  *retries,
+		Hedge:    *hedge,
 		RPS:      *rps,
 		Duration: *duration,
 		Gen: service.GenOptions{
@@ -77,6 +83,10 @@ func runLoadgenCmd(args []string, stdout, stderr io.Writer) error {
 	fmt.Fprintf(stderr, "synts loadgen: %d requests at %.1f rps (target %.1f): %d ok, %d shed, %d client errors, %d errors, %d dropped; p95 %.2f ms; SLO %s\n",
 		rep.Requests, rep.AchievedRPS, rep.TargetRPS, rep.OK, rep.Shed, rep.ClientErrors, rep.Errors, rep.Dropped,
 		rep.Latency.P95, map[bool]string{true: "pass", false: "FAIL"}[rep.SLOPass])
+	if rep.Retries+rep.Hedges+rep.Failovers > 0 {
+		fmt.Fprintf(stderr, "synts loadgen: resilience: %d retries, %d hedges (%d won), %d failovers\n",
+			rep.Retries, rep.Hedges, rep.HedgeWins, rep.Failovers)
+	}
 	if *failOnSLO && !rep.SLOPass {
 		return fmt.Errorf("SLO gate failed (p95 %.2f ms vs %.2f ms max; error frac %.4f vs %.4f max)",
 			rep.Latency.P95, rep.SLO.P95MaxMs,

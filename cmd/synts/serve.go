@@ -111,6 +111,7 @@ func runServeCmd(args []string, stdout, stderr io.Writer) error {
 	jobs := fs.Int("j", runtime.NumCPU(), "background experiments run concurrently")
 	shards := fs.Int("shards", runtime.NumCPU(), "solver service worker shards")
 	queueLen := fs.Int("queue", 64, "per-shard bounded queue length (full queues shed with 429)")
+	tenantCap := fs.Int("max-inflight-per-tenant", 0, "per-tenant in-flight admission cap (429/tenant-cap beyond it; 0 = off)")
 	warmDir := fs.String("warm-dir", "", "persist the solve warm-start cache to `dir` (synts-ckpt/v1)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "how long shutdown waits for in-flight work before aborting (0 = forever)")
 	chaosSpec := fs.String("chaos", "off", "deterministic fault injection `spec`: class[=rate],... (adds req-slow, req-drop to the batch classes)")
@@ -138,7 +139,7 @@ func runServeCmd(args []string, stdout, stderr io.Writer) error {
 		return fmt.Errorf("-chaos: %w", err)
 	}
 
-	svc, err := service.New(service.Config{Shards: *shards, QueueLen: *queueLen, WarmDir: *warmDir})
+	svc, err := service.New(service.Config{Shards: *shards, QueueLen: *queueLen, WarmDir: *warmDir, TenantCap: *tenantCap})
 	if err != nil {
 		return err
 	}

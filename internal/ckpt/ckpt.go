@@ -67,18 +67,38 @@ func (s *Store) path(experiment string) string {
 // experiment's file, or a different workload configuration. A resume must
 // then recompute; it never fails over a bad checkpoint.
 func (s *Store) Load(experiment string) ([]byte, bool) {
+	out, ok, _ := s.LoadChecked(experiment)
+	return out, ok
+}
+
+// LoadChecked is Load with the cause surfaced: ok-and-nil-error on a
+// usable checkpoint, a nil error when the file simply does not exist, and
+// a descriptive error when a file is present but unusable (torn JSON, a
+// foreign experiment's bytes, another configuration's key). Callers that
+// share a directory with other writers — the solver service's warm dir
+// hosts N daemons at once — use the distinction to count rejected blobs
+// instead of silently treating damage as a miss.
+func (s *Store) LoadChecked(experiment string) ([]byte, bool, error) {
 	raw, err := os.ReadFile(s.path(experiment))
 	if err != nil {
-		return nil, false
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, err
 	}
 	var e Entry
 	if err := json.Unmarshal(raw, &e); err != nil {
-		return nil, false
+		return nil, false, fmt.Errorf("ckpt: %s: torn or foreign blob: %w", experiment, err)
 	}
-	if e.Schema != SchemaVersion || e.Experiment != experiment || e.Key != s.key {
-		return nil, false
+	switch {
+	case e.Schema != SchemaVersion:
+		return nil, false, fmt.Errorf("ckpt: %s: schema %q, want %q", experiment, e.Schema, SchemaVersion)
+	case e.Experiment != experiment:
+		return nil, false, fmt.Errorf("ckpt: %s: entry names experiment %q", experiment, e.Experiment)
+	case e.Key != s.key:
+		return nil, false, fmt.Errorf("ckpt: %s: written under another workload key", experiment)
 	}
-	return e.Output, true
+	return e.Output, true, nil
 }
 
 // Names lists the experiments with a usable checkpoint under this store's

@@ -1,0 +1,209 @@
+package fleet
+
+import (
+	"sync"
+	"time"
+)
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int32
+
+const (
+	// BreakerClosed admits traffic; failures are being counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen rejects traffic until the cooldown elapses.
+	BreakerOpen
+	// BreakerHalfOpen admits exactly one probe request; its outcome
+	// decides between closed and open.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Breaker transition reasons, combined with the target state into the
+// ledger event reason (e.g. "open:consecutive-failures").
+const (
+	TransConsecutive = "consecutive-failures"
+	TransErrorRate   = "error-rate"
+	TransCooldown    = "cooldown"
+	TransProbeOK     = "probe-ok"
+	TransProbeFail   = "probe-fail"
+)
+
+// BreakerConfig tunes one circuit breaker. The zero value gets sane
+// defaults from NewBreaker.
+type BreakerConfig struct {
+	// Failures opens the breaker after this many consecutive failures;
+	// <= 0 means 5.
+	Failures int
+	// Window is the rolling outcome-sample window for the error-rate
+	// gate; <= 0 means 20.
+	Window int
+	// ErrorRate opens the breaker when the failure fraction over a full
+	// Window reaches it; <= 0 disables the rate gate (consecutive
+	// failures still apply), and values > 1 are clamped to 1.
+	ErrorRate float64
+	// Cooldown is how long the breaker stays open before admitting a
+	// half-open probe; <= 0 means 2s.
+	Cooldown time.Duration
+	// Now is the clock; nil means time.Now. Tests inject a fake.
+	Now func() time.Time
+	// OnTransition observes every state change (called outside the
+	// breaker lock is NOT guaranteed — keep it fast and reentrancy-free).
+	OnTransition func(from, to BreakerState, reason string)
+}
+
+// Breaker is one per-backend circuit breaker: closed → open on
+// consecutive failures or a windowed error rate, open → half-open after a
+// cooldown, half-open → closed on a successful probe (or back to open on
+// a failed one). It is the client-side mirror of the paper's confidence
+// mechanism: stop speculating through a path that keeps mis-speculating,
+// re-test it cautiously, resume when it proves healthy.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu       sync.Mutex
+	state    BreakerState
+	consec   int    // consecutive failures while closed
+	window   []bool // rolling outcomes (true = failure)
+	wpos     int
+	wfilled  int
+	wfails   int
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker builds a breaker, applying defaults for zero config fields.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.Failures <= 0 {
+		cfg.Failures = 5
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 20
+	}
+	if cfg.ErrorRate > 1 {
+		cfg.ErrorRate = 1
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 2 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	return &Breaker{cfg: cfg, window: make([]bool, cfg.Window)}
+}
+
+// State returns the breaker's current position (open flips to half-open
+// lazily, on the first Allow after the cooldown).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Allow reports whether a request may proceed. While open it returns
+// false until the cooldown elapses, then transitions to half-open and
+// admits exactly one probe; the probe's Record settles the state. Every
+// true return must be followed by exactly one Record call.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerOpen:
+		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
+			return false
+		}
+		b.transition(BreakerHalfOpen, TransCooldown)
+		b.probing = true
+		return true
+	case BreakerHalfOpen:
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+	return false
+}
+
+// Record feeds one admitted request's outcome back.
+func (b *Breaker) Record(ok bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerHalfOpen:
+		b.probing = false
+		if ok {
+			b.reset()
+			b.transition(BreakerClosed, TransProbeOK)
+		} else {
+			b.openedAt = b.cfg.Now()
+			b.transition(BreakerOpen, TransProbeFail)
+		}
+	case BreakerClosed:
+		if ok {
+			b.consec = 0
+		} else {
+			b.consec++
+		}
+		b.observe(!ok)
+		if b.consec >= b.cfg.Failures {
+			b.openedAt = b.cfg.Now()
+			b.transition(BreakerOpen, TransConsecutive)
+			return
+		}
+		if b.cfg.ErrorRate > 0 && b.wfilled == len(b.window) &&
+			float64(b.wfails) >= b.cfg.ErrorRate*float64(len(b.window)) {
+			b.openedAt = b.cfg.Now()
+			b.transition(BreakerOpen, TransErrorRate)
+		}
+	case BreakerOpen:
+		// A straggler from before the trip; the cooldown already governs.
+	}
+}
+
+// observe pushes one outcome into the rolling window; callers hold b.mu.
+func (b *Breaker) observe(failed bool) {
+	if b.wfilled == len(b.window) {
+		if b.window[b.wpos] {
+			b.wfails--
+		}
+	} else {
+		b.wfilled++
+	}
+	b.window[b.wpos] = failed
+	if failed {
+		b.wfails++
+	}
+	b.wpos = (b.wpos + 1) % len(b.window)
+}
+
+// reset clears failure history on a close; callers hold b.mu.
+func (b *Breaker) reset() {
+	b.consec = 0
+	b.wpos, b.wfilled, b.wfails = 0, 0, 0
+	for i := range b.window {
+		b.window[i] = false
+	}
+}
+
+// transition flips the state and notifies; callers hold b.mu.
+func (b *Breaker) transition(to BreakerState, reason string) {
+	from := b.state
+	b.state = to
+	if b.cfg.OnTransition != nil && from != to {
+		b.cfg.OnTransition(from, to, reason)
+	}
+}

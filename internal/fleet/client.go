@@ -1,0 +1,357 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"synts/internal/obs"
+)
+
+// ErrAllBreakersOpen is returned (after the retry budget is spent) when
+// every backend's circuit breaker rejected the request without an attempt.
+var ErrAllBreakersOpen = errors.New("fleet: all backend circuit breakers open")
+
+// ClientConfig tunes a resilient solve client. Zero fields get defaults
+// from NewClient.
+type ClientConfig struct {
+	// URLs are the backend base URLs (e.g. http://127.0.0.1:9187). One
+	// entry — a single daemon or a router — is the common case; with
+	// several, requests consistent-hash onto them by body digest and fail
+	// over along the ring.
+	URLs []string
+	// Timeout bounds one logical request end to end, including every
+	// retry and hedge; <= 0 means 30s.
+	Timeout time.Duration
+	// Retries is the extra-attempt budget per request (0 = first attempt
+	// only). Retried-then-OK requests count once in load reports.
+	Retries int
+	// BackoffBase/BackoffCap shape the full-jitter exponential backoff
+	// between attempts: attempt k waits uniform[0, min(Cap, Base<<k)).
+	// Defaults 25ms / 1s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// Seed fixes the backoff jitter stream so chaos runs reproduce.
+	Seed int64
+	// Hedge enables hedged requests: if the first attempt has not
+	// answered after a p95-derived delay, an identical request races it
+	// and the first final answer wins. Safe because solves are
+	// idempotent (pure functions of the payload) and cheap because the
+	// loser usually coalesces or warm-starts server-side. Off by
+	// default: hedging is provably inert only when disabled, and ~5% of
+	// healthy requests exceed their own p95 by construction.
+	Hedge bool
+	// HedgeFloor is the minimum hedge delay, and the delay used until
+	// HedgeMinSamples latencies have been observed; <= 0 means 50ms.
+	HedgeFloor time.Duration
+	// HedgeMinSamples is how many successful-request latencies must be
+	// seen before the hedge delay tracks the observed p95; <= 0 means 20.
+	HedgeMinSamples int
+	// Breaker configures the per-backend circuit breakers.
+	Breaker BreakerConfig
+	// Transport overrides the HTTP transport (tests).
+	Transport http.RoundTripper
+}
+
+// Result is one logical request's outcome after all resilience machinery
+// ran. Exactly one of (Err != nil) and (Status != 0) holds.
+type Result struct {
+	Status int
+	Header http.Header
+	Body   []byte
+	// Err is set only when no attempt produced a final HTTP response
+	// within the budget (transport failures, torn responses, deadline).
+	Err error
+	// Retries counts extra attempts beyond the first on the winning lane.
+	Retries int
+	// Failovers counts backend switches: client-side attempt switches
+	// plus any router-side hops reported via the X-Synts-Failover header.
+	Failovers int
+	// Hedged/HedgeWon: a hedge lane was launched / it produced the
+	// winning response.
+	Hedged   bool
+	HedgeWon bool
+	// Shed reports the shed reason header of the final response ("" if
+	// none): sheds are the service coping, not the client failing.
+	Shed string
+}
+
+// latWindow is the hedge-delay latency sample window size.
+const latWindow = 128
+
+// Client is the resilient solve client: per-request deadlines, bounded
+// seeded-jitter retries, optional hedging, per-backend circuit breakers
+// and consistent-hash failover. Zero overhead when nothing fails: a
+// healthy single-backend request is one POST, no extra allocation beyond
+// the report bookkeeping, and retries=hedges=failovers=0.
+type Client struct {
+	cfg      ClientConfig
+	hc       *http.Client
+	ring     *Ring
+	breakers []*Breaker
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	lats   [latWindow]float64 // successful-attempt latencies, ms
+	latPos int
+	latN   int
+}
+
+// NewClient builds a client over cfg.URLs (at least one required).
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if len(cfg.URLs) == 0 {
+		return nil, errors.New("fleet: client needs at least one backend URL")
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 30 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = time.Second
+	}
+	if cfg.HedgeFloor <= 0 {
+		cfg.HedgeFloor = 50 * time.Millisecond
+	}
+	if cfg.HedgeMinSamples <= 0 {
+		cfg.HedgeMinSamples = 20
+	}
+	c := &Client{
+		cfg:  cfg,
+		hc:   &http.Client{Transport: cfg.Transport},
+		ring: NewRing(cfg.URLs, 0),
+		rng:  rand.New(rand.NewSource(cfg.Seed)),
+	}
+	c.breakers = make([]*Breaker, len(cfg.URLs))
+	for i := range c.breakers {
+		c.breakers[i] = NewBreaker(cfg.Breaker)
+	}
+	return c, nil
+}
+
+// Do runs one logical solve request to completion: attempts, backoff,
+// failover and (if enabled) one hedge lane, all inside one deadline.
+func (c *Client) Do(body []byte) *Result {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+	defer cancel()
+	if !c.cfg.Hedge {
+		return c.runLane(ctx, body, 0)
+	}
+
+	type lane struct {
+		res   *Result
+		hedge bool
+	}
+	ch := make(chan lane, 2)
+	go func() { ch <- lane{c.runLane(ctx, body, 0), false} }()
+	timer := time.NewTimer(c.hedgeDelay())
+	defer timer.Stop()
+	hedged := false
+	pending := 1
+	var winner lane
+	for {
+		select {
+		case l := <-ch:
+			pending--
+			if l.res.Err == nil || pending == 0 {
+				winner = l
+			}
+		case <-timer.C:
+			if !hedged {
+				hedged = true
+				pending++
+				obs.C("fleet.client.hedges").Add(1)
+				// The hedge lane starts one position further along the
+				// ring, so on a multi-backend client it tries a different
+				// backend first.
+				go func() { ch <- lane{c.runLane(ctx, body, 1), true} }()
+			}
+			continue
+		}
+		if winner.res != nil {
+			break
+		}
+	}
+	res := winner.res
+	res.Hedged = hedged
+	if hedged && winner.hedge && res.Err == nil {
+		res.HedgeWon = true
+		obs.C("fleet.client.hedge_wins").Add(1)
+	}
+	return res
+}
+
+// runLane is one attempt loop: pick a backend (honouring breakers), POST,
+// classify, maybe back off and fail over. laneOffset rotates the failover
+// sequence so hedge lanes lead with a different backend.
+func (c *Client) runLane(ctx context.Context, body []byte, laneOffset int) *Result {
+	res := &Result{}
+	seq := c.ring.Seq(BodyDigest(body))
+	attempts := c.cfg.Retries + 1
+	last := -1
+	var lastErr error
+	var lastShed *Result // a draining shed kept as the fallback answer
+	for a := 0; a < attempts; a++ {
+		if a > 0 {
+			res.Retries++
+			obs.C("fleet.client.retries").Add(1)
+			select {
+			case <-time.After(c.backoff(a)):
+			case <-ctx.Done():
+				res.Err = ctx.Err()
+				return res
+			}
+		}
+		idx := c.pickAllowed(seq, a+laneOffset)
+		if idx < 0 {
+			lastErr = ErrAllBreakersOpen
+			continue // the cooldown may elapse within the deadline
+		}
+		if last >= 0 && idx != last {
+			res.Failovers++
+			obs.C("fleet.client.failovers").Add(1)
+		}
+		last = idx
+		status, header, respBody, err := c.attempt(ctx, idx, body)
+		br := c.breakers[idx]
+		if err != nil {
+			br.Record(false)
+			lastErr = err
+			if ctx.Err() != nil {
+				res.Err = ctx.Err()
+				return res
+			}
+			continue
+		}
+		shed := header.Get(HeaderShedReason)
+		if status >= 500 && shed == "" {
+			br.Record(false)
+			lastErr = fmt.Errorf("fleet: backend %d answered %d", idx, status)
+			continue
+		}
+		br.Record(true)
+		if shed == ReasonDraining && len(seq) > 1 && a+1 < attempts {
+			// An orderly drain is not a failure — don't trip the breaker —
+			// but the work should land elsewhere. Remember the shed as the
+			// answer of last resort and fail over.
+			lastShed = &Result{Status: status, Header: header, Body: respBody, Shed: shed}
+			lastErr = nil
+			continue
+		}
+		res.Status, res.Header, res.Body, res.Shed = status, header, respBody, shed
+		if n, err := strconv.Atoi(header.Get(HeaderFailover)); err == nil && n > 0 {
+			res.Failovers += n
+		}
+		return res
+	}
+	if lastShed != nil {
+		lastShed.Retries, lastShed.Failovers = res.Retries, res.Failovers
+		return lastShed
+	}
+	if lastErr == nil {
+		lastErr = errors.New("fleet: request budget exhausted")
+	}
+	res.Err = lastErr
+	return res
+}
+
+// pickAllowed scans the failover sequence from position pos for the first
+// backend whose breaker admits the request; -1 when all reject.
+func (c *Client) pickAllowed(seq []int, pos int) int {
+	n := len(seq)
+	for k := 0; k < n; k++ {
+		idx := seq[(pos+k)%n]
+		if c.breakers[idx].Allow() {
+			return idx
+		}
+	}
+	return -1
+}
+
+// attempt is one POST to one backend. A response-body read error (the
+// resp-torn chaos class, or a connection cut mid-body) is an attempt
+// failure, not a final answer.
+func (c *Client) attempt(ctx context.Context, idx int, body []byte) (int, http.Header, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.URLs[idx]+SolvePath, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	t0 := time.Now()
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	respBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return 0, nil, nil, fmt.Errorf("fleet: torn response from backend %d: %w", idx, err)
+	}
+	if resp.StatusCode == http.StatusOK {
+		c.observeLatency(float64(time.Since(t0)) / float64(time.Millisecond))
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+// backoff draws attempt a's full-jitter wait: uniform over
+// [0, min(cap, base<<(a-1))). Seeded, so a chaos run's retry timing
+// reproduces (modulo scheduling).
+func (c *Client) backoff(a int) time.Duration {
+	max := c.cfg.BackoffBase << uint(a-1)
+	if max > c.cfg.BackoffCap || max <= 0 {
+		max = c.cfg.BackoffCap
+	}
+	c.mu.Lock()
+	d := time.Duration(c.rng.Float64() * float64(max))
+	c.mu.Unlock()
+	return d
+}
+
+// observeLatency feeds one successful-request latency into the hedge
+// window.
+func (c *Client) observeLatency(ms float64) {
+	c.mu.Lock()
+	c.lats[c.latPos] = ms
+	c.latPos = (c.latPos + 1) % latWindow
+	if c.latN < latWindow {
+		c.latN++
+	}
+	c.mu.Unlock()
+}
+
+// hedgeDelay is the observed p95 of recent successful requests (never
+// below HedgeFloor), or the floor until enough samples exist.
+func (c *Client) hedgeDelay() time.Duration {
+	c.mu.Lock()
+	n := c.latN
+	var buf []float64
+	if n >= c.cfg.HedgeMinSamples {
+		buf = append(buf, c.lats[:n]...)
+	}
+	c.mu.Unlock()
+	if buf == nil {
+		return c.cfg.HedgeFloor
+	}
+	sort.Float64s(buf)
+	i := (95*len(buf) + 99) / 100
+	if i > 0 {
+		i--
+	}
+	d := time.Duration(buf[i] * float64(time.Millisecond))
+	if d < c.cfg.HedgeFloor {
+		d = c.cfg.HedgeFloor
+	}
+	return d
+}

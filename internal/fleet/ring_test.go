@@ -1,0 +1,151 @@
+package fleet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testBackends(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = fmt.Sprintf("http://127.0.0.1:%d", 9200+i)
+	}
+	return out
+}
+
+// The ring must split the keyspace roughly evenly: with 64 vnodes per
+// backend no member should see less than half or more than double its
+// fair share.
+func TestRingDistribution(t *testing.T) {
+	const keys = 20000
+	for _, n := range []int{2, 3, 5} {
+		r := NewRing(testBackends(n), 0)
+		counts := make([]int, n)
+		for k := 0; k < keys; k++ {
+			idx := r.Pick(mix(uint64(k), 7), nil)
+			if idx < 0 || idx >= n {
+				t.Fatalf("n=%d key %d: pick %d out of range", n, k, idx)
+			}
+			counts[idx]++
+		}
+		fair := keys / n
+		for i, c := range counts {
+			if c < fair/2 || c > fair*2 {
+				t.Errorf("n=%d backend %d got %d keys, fair share %d", n, i, c, fair)
+			}
+		}
+	}
+}
+
+// Placement is a pure function of the backend list: two rings built from
+// the same list agree on every key.
+func TestRingDeterministic(t *testing.T) {
+	a := NewRing(testBackends(4), 0)
+	b := NewRing(testBackends(4), 0)
+	for k := uint64(0); k < 5000; k++ {
+		key := mix(k, 3)
+		if a.Pick(key, nil) != b.Pick(key, nil) {
+			t.Fatalf("key %d: rings disagree", k)
+		}
+	}
+}
+
+// Rejecting one backend remaps only its keys, each to the next live
+// backend on the ring — and every key not owned by the dead backend stays
+// put. That is the deterministic remap two independent routers must agree
+// on.
+func TestRingRemapOnReject(t *testing.T) {
+	r := NewRing(testBackends(3), 0)
+	const dead = 1
+	ok := func(idx int) bool { return idx != dead }
+	moved := 0
+	for k := uint64(0); k < 5000; k++ {
+		key := mix(k, 11)
+		before := r.Pick(key, nil)
+		after := r.Pick(key, ok)
+		if after == dead {
+			t.Fatalf("key %d still mapped to rejected backend", k)
+		}
+		if before != dead && after != before {
+			t.Fatalf("key %d moved %d -> %d though its backend is alive", k, before, after)
+		}
+		if before == dead {
+			moved++
+			// The survivor must be the next distinct backend on the walk.
+			if want := r.Seq(key)[1]; after != want {
+				t.Fatalf("key %d: remapped to %d, want next-on-ring %d", k, after, want)
+			}
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no key was owned by the rejected backend; distribution broken")
+	}
+}
+
+// Seq is the full failover order: all distinct backends, led by Pick's
+// choice.
+func TestRingSeq(t *testing.T) {
+	r := NewRing(testBackends(4), 0)
+	for k := uint64(0); k < 2000; k++ {
+		key := mix(k, 5)
+		seq := r.Seq(key)
+		if len(seq) != 4 {
+			t.Fatalf("key %d: seq %v, want 4 distinct backends", k, seq)
+		}
+		seen := map[int]bool{}
+		for _, idx := range seq {
+			if seen[idx] {
+				t.Fatalf("key %d: duplicate backend %d in seq %v", k, idx, seq)
+			}
+			seen[idx] = true
+		}
+		if seq[0] != r.Pick(key, nil) {
+			t.Fatalf("key %d: seq[0]=%d, Pick=%d", k, seq[0], r.Pick(key, nil))
+		}
+	}
+}
+
+// Growing the fleet by one moves only a minority of the keyspace — the
+// consistent-hashing property that makes warm caches survive scale-out.
+func TestRingStability(t *testing.T) {
+	small := NewRing(testBackends(3), 0)
+	big := NewRing(testBackends(4), 0)
+	const keys = 5000
+	moved := 0
+	for k := uint64(0); k < keys; k++ {
+		key := mix(k, 13)
+		if small.Pick(key, nil) != big.Pick(key, nil) {
+			moved++
+		}
+	}
+	// The ideal is 1/4 of keys; allow generous slack but far below a full
+	// reshuffle.
+	if moved > keys/2 {
+		t.Fatalf("adding one backend moved %d/%d keys", moved, keys)
+	}
+	if moved == 0 {
+		t.Fatal("adding a backend moved nothing; the new member gets no traffic")
+	}
+}
+
+// Pick returns -1 only when every backend is rejected.
+func TestRingAllRejected(t *testing.T) {
+	r := NewRing(testBackends(3), 0)
+	if got := r.Pick(42, func(int) bool { return false }); got != -1 {
+		t.Fatalf("Pick with all rejected = %d, want -1", got)
+	}
+}
+
+// BodyDigest keys routing on bytes alone: equal bodies agree, different
+// bodies (almost surely) differ.
+func TestBodyDigest(t *testing.T) {
+	a := BodyDigest([]byte(`{"id":"x"}`))
+	b := BodyDigest([]byte(`{"id":"x"}`))
+	c := BodyDigest([]byte(`{"id":"y"}`))
+	if a != b {
+		t.Fatal("equal bodies digest differently")
+	}
+	if a == c {
+		t.Fatal("distinct bodies collided")
+	}
+}

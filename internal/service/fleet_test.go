@@ -1,0 +1,308 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"synts/internal/fleet"
+	"synts/internal/obs"
+	"synts/internal/telemetry"
+)
+
+// One noisy tenant at its in-flight cap sheds with 429/tenant-cap before
+// reaching the shard queues; releasing the slot re-admits the tenant.
+func TestTenantCapSheds(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	svc, srv := newTestService(t, Config{Shards: 1, QueueLen: 4, TenantCap: 1})
+
+	// Hold the only shard's worker so the first noisy request stays in
+	// flight (and in the tenant's slot) while the second arrives.
+	block := make(chan struct{})
+	running := make(chan struct{})
+	busy := &job{run: func() *solveResult { close(running); <-block; return nil }, done: make(chan struct{})}
+	svc.shards[0].jobs <- busy
+	<-running
+
+	first := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(srv.URL+"/v1/solve", "application/json",
+			marshalReq(t, validRequest("noisy", 0)))
+		if err != nil {
+			first <- nil
+			return
+		}
+		first <- resp
+	}()
+	// Wait until the first request owns the tenant slot (it is queued
+	// behind busy on the shard).
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		svc.tenantMu.Lock()
+		n := svc.tenantLoad["noisy"]
+		svc.tenantMu.Unlock()
+		if n == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("first noisy request never acquired its tenant slot")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postSolve(t, srv.URL, validRequest("noisy", 1))
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Errorf("capped tenant status %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get(HeaderShedReason); got != ShedTenantCap {
+		t.Errorf("%s = %q, want %q", HeaderShedReason, got, ShedTenantCap)
+	}
+
+	close(block)
+	<-busy.done
+	if r := <-first; r == nil {
+		t.Fatal("first noisy request failed")
+	} else {
+		decodeSolve(t, r)
+	}
+
+	// Slot released: the tenant is admitted again.
+	resp = postSolve(t, srv.URL, validRequest("noisy", 2))
+	decodeSolve(t, resp)
+
+	found := false
+	for _, e := range telemetry.Events() {
+		if e.Kind == telemetry.KindShed && e.Reason == ShedTenantCap && e.Bench == "noisy" {
+			if err := e.Validate(); err != nil {
+				t.Errorf("tenant-cap shed event invalid: %v", err)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no tenant-cap shed event in the ledger")
+	}
+}
+
+// With no cap configured the tenant bookkeeping is inert.
+func TestTenantCapOffByDefault(t *testing.T) {
+	svc, srv := newTestService(t, Config{Shards: 1, QueueLen: 4})
+	for i := 0; i < 4; i++ {
+		resp := postSolve(t, srv.URL, validRequest("anyone", i))
+		decodeSolve(t, resp)
+	}
+	svc.tenantMu.Lock()
+	n := len(svc.tenantLoad)
+	svc.tenantMu.Unlock()
+	if n != 0 {
+		t.Fatalf("tenantLoad has %d entries with the cap disabled", n)
+	}
+}
+
+func marshalReq(t *testing.T, r *SolveRequest) io.Reader {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bytes.NewReader(b)
+}
+
+// A shared warm dir is never trusted blindly: torn blobs (a writer died
+// mid-write, resp-torn style) and foreign-but-parseable blobs are
+// rejected entry by entry, counted, and re-solved — never served.
+func TestWarmDirRejectsCorruptEntries(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	dir := t.TempDir()
+
+	// A first daemon persists one legit entry.
+	req := validRequest("shared", 0)
+	key := payloadDigest(req)
+	{
+		svc, err := New(Config{Shards: 1, QueueLen: 4, WarmDir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := svc.warm.get(key); ok {
+			t.Fatal("warm hit before any solve")
+		}
+		svc.warm.put(key, svc.solve(req))
+		svc.Drain()
+		svc.Close()
+	}
+	path := filepath.Join(dir, entryName(key)+".ckpt.json")
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Tear the blob mid-bytes, the way resp-torn tears a response.
+	if err := os.WriteFile(path, raw[:len(raw)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	svc2, err := New(Config{Shards: 1, QueueLen: 4, WarmDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { svc2.Drain(); svc2.Close() }()
+	before := obs.C("service.warm.rejected").Value()
+	if _, ok := svc2.warm.get(key); ok {
+		t.Fatal("torn warm entry was served")
+	}
+	if got := obs.C("service.warm.rejected").Value(); got != before+1 {
+		t.Fatalf("warm.rejected = %d after torn blob, want %d", got, before+1)
+	}
+
+	// A blob that parses as JSON under the right ckpt key but is not a
+	// plausible solve result (foreign writer) is rejected too.
+	bogus, _ := json.Marshal(&solveResult{Schema: ResultSchema}) // zero cores
+	if err := svc2.warm.store.Save(entryName(key), bogus); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc2.warm.get(key); ok {
+		t.Fatal("implausible warm entry was served")
+	}
+	if got := obs.C("service.warm.rejected").Value(); got != before+2 {
+		t.Fatalf("warm.rejected = %d after implausible blob, want %d", got, before+2)
+	}
+
+	// A fresh, whole entry is still accepted afterwards.
+	svc2.warm.put(key, svc2.solve(req))
+	svc3, err := New(Config{Shards: 1, QueueLen: 4, WarmDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { svc3.Drain(); svc3.Close() }()
+	if _, ok := svc3.warm.get(key); !ok {
+		t.Fatal("repaired warm entry not served")
+	}
+}
+
+// The drain-during-retry contract, with real daemons: a backend drains
+// mid-run, the fleet client fails the request over, the answer comes from
+// the survivor — and the ledger holds exactly one set of decision events
+// for the request (the drained backend shed before solving, so nothing is
+// double-recorded).
+func TestDrainDuringRetryFailsOverOnce(t *testing.T) {
+	telemetry.Enable()
+	defer telemetry.Disable()
+	_, srvA := newTestService(t, Config{Shards: 1, QueueLen: 8})
+	svcB, srvB := newTestService(t, Config{Shards: 1, QueueLen: 8})
+
+	urls := []string{srvA.URL, srvB.URL}
+	// Find a request whose failover sequence starts at the backend we are
+	// about to drain (index 1), so the drain is actually in the path.
+	var body []byte
+	for seq := 0; ; seq++ {
+		b, err := json.Marshal(validRequest("drain-test", seq))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fleet.NewRing(urls, 0).Seq(fleet.BodyDigest(b))[0] == 1 {
+			body = b
+			break
+		}
+	}
+	svcB.Drain()
+
+	c, err := fleet.NewClient(fleet.ClientConfig{URLs: urls, Retries: 2, BackoffBase: time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := c.Do(body)
+	if res.Err != nil || res.Status != http.StatusOK {
+		t.Fatalf("want failover success around draining backend, got %+v err=%v", res, res.Err)
+	}
+	if res.Failovers != 1 {
+		t.Fatalf("failovers = %d, want 1", res.Failovers)
+	}
+	if res.Shed != "" {
+		t.Fatalf("drain shed %q surfaced though the survivor answered", res.Shed)
+	}
+
+	decisions, barriers, sheds := 0, 0, 0
+	for _, e := range telemetry.Events() {
+		if e.Bench != "drain-test" {
+			continue
+		}
+		switch e.Kind {
+		case telemetry.KindDecision:
+			decisions++
+		case telemetry.KindBarrier:
+			barriers++
+		case telemetry.KindShed:
+			sheds++
+		}
+	}
+	if decisions != 2 || barriers != 1 {
+		t.Fatalf("decisions=%d barriers=%d, want 2/1: the solve must be recorded exactly once", decisions, barriers)
+	}
+	if sheds != 1 {
+		t.Fatalf("sheds=%d, want 1 (the drained backend's explicit shed)", sheds)
+	}
+}
+
+// End-to-end inertness: a loadgen run through the fleet client against
+// one healthy daemon reports zero retries/hedges/failovers, keeps the
+// count identity exact, and passes report validation — PR 8 behaviour,
+// bit for bit, when nothing fails.
+func TestLoadgenFleetClientInert(t *testing.T) {
+	_, srv := newTestService(t, Config{Shards: 2, QueueLen: 32})
+	rep, err := RunLoad(LoadOptions{
+		URL:      srv.URL,
+		RPS:      200,
+		Duration: 250 * time.Millisecond,
+		Retries:  3,
+		Gen:      GenOptions{Seed: 11, Tenants: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Retries != 0 || rep.Hedges != 0 || rep.HedgeWins != 0 || rep.Failovers != 0 {
+		t.Fatalf("resilience counters nonzero on a healthy run: %+v", rep)
+	}
+	if rep.Errors != 0 || rep.Dropped != 0 {
+		t.Fatalf("errors on a healthy run: %+v", rep)
+	}
+}
+
+// Count identity under failover: with one of two backends draining, every
+// logical request still lands in exactly one outcome bucket and the
+// failover counter shows the remapping.
+func TestLoadgenFailoverCountIdentity(t *testing.T) {
+	_, srvA := newTestService(t, Config{Shards: 2, QueueLen: 32})
+	svcB, srvB := newTestService(t, Config{Shards: 2, QueueLen: 32})
+	svcB.Drain()
+
+	rep, err := RunLoad(LoadOptions{
+		URL:      srvA.URL + "," + srvB.URL,
+		RPS:      200,
+		Duration: 250 * time.Millisecond,
+		Retries:  2,
+		Gen:      GenOptions{Seed: 13, Tenants: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rep.Validate(); err != nil {
+		t.Fatalf("report invalid: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("non-shed errors despite a live survivor: %+v", rep)
+	}
+	if rep.Failovers == 0 {
+		t.Fatalf("no failovers though one backend drains: %+v", rep)
+	}
+}

@@ -1,14 +1,16 @@
 package service
 
 import (
-	"bytes"
 	"encoding/json"
 	"fmt"
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 	"time"
+
+	"synts/internal/fleet"
 )
 
 // LoadSchema identifies a load-generator report.
@@ -17,8 +19,20 @@ const LoadSchema = "synts-load/v1"
 // LoadOptions configures one open-loop run against a live service.
 type LoadOptions struct {
 	// URL is the service base URL (e.g. http://127.0.0.1:8080); the
-	// generator POSTs to URL + "/v1/solve".
+	// generator POSTs to URL + "/v1/solve". A comma-separated list fans
+	// the run out over several backends through the fleet client's
+	// consistent-hash failover.
 	URL string
+	// Timeout bounds one logical request end to end, retries and hedges
+	// included; <= 0 means 30s (the bare-client behaviour this replaced).
+	Timeout time.Duration
+	// Retries is the fleet client's extra-attempt budget per request;
+	// 0 keeps the client single-shot. A retried-then-OK request counts
+	// once, as OK — the count identity is over logical requests.
+	Retries int
+	// Hedge enables hedged requests in the fleet client (off by default,
+	// so an idle-path run is provably inert).
+	Hedge bool
 	// RPS is the target open-loop arrival rate; <= 0 means 50.
 	RPS float64
 	// Duration bounds the run; <= 0 means 5s. The request count is
@@ -76,6 +90,16 @@ type LoadReport struct {
 	CoalesceHits int `json:"coalesce_hits"`
 	WarmHits     int `json:"warm_hits"`
 
+	// Resilience counters: what the fleet client did beneath the logical
+	// requests above. Retries counts extra attempts, Failovers backend
+	// switches (client-side plus router-reported hops), Hedges launched
+	// hedge lanes and HedgeWins the hedges whose lane produced the answer.
+	// All zero on a healthy single-backend run — the inertness contract.
+	Retries   int `json:"retries"`
+	Hedges    int `json:"hedges"`
+	HedgeWins int `json:"hedge_wins"`
+	Failovers int `json:"failovers"`
+
 	Latency LatencySummary `json:"latency"`
 	SLO     SLO            `json:"slo"`
 	SLOPass bool           `json:"slo_pass"`
@@ -96,10 +120,15 @@ func (r *LoadReport) Validate() error {
 		{"client_errors", r.ClientErrors}, {"errors", r.Errors},
 		{"dropped", r.Dropped},
 		{"coalesce_hits", r.CoalesceHits}, {"warm_hits", r.WarmHits},
+		{"retries", r.Retries}, {"hedges", r.Hedges},
+		{"hedge_wins", r.HedgeWins}, {"failovers", r.Failovers},
 	} {
 		if c.v < 0 {
 			return fmt.Errorf("negative %s count %d", c.name, c.v)
 		}
+	}
+	if r.HedgeWins > r.Hedges {
+		return fmt.Errorf("hedge_wins %d exceeds hedges %d", r.HedgeWins, r.Hedges)
 	}
 	if sum := r.OK + r.Shed + r.ClientErrors + r.Errors + r.Dropped; sum != r.Requests {
 		return fmt.Errorf("outcome counts sum to %d, want requests = %d", sum, r.Requests)
@@ -153,8 +182,22 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		}
 		bodies[i] = b
 	}
-	url := opts.URL + "/v1/solve"
-	client := &http.Client{Timeout: 30 * time.Second}
+	var urls []string
+	for _, u := range strings.Split(opts.URL, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			urls = append(urls, u)
+		}
+	}
+	client, err := fleet.NewClient(fleet.ClientConfig{
+		URLs:    urls,
+		Timeout: opts.Timeout,
+		Retries: opts.Retries,
+		Hedge:   opts.Hedge,
+		Seed:    opts.Gen.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: %w", err)
+	}
 
 	rep := &LoadReport{
 		Schema:    LoadSchema,
@@ -185,28 +228,41 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 			defer wg.Done()
 			defer func() { <-slots }()
 			t0 := time.Now()
-			resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+			res := client.Do(body)
 			lat := time.Since(t0)
 			mu.Lock()
 			defer mu.Unlock()
-			if err != nil {
+			// Resilience bookkeeping first: retries and failovers happened
+			// even when the logical request ultimately failed.
+			rep.Retries += res.Retries
+			rep.Failovers += res.Failovers
+			if res.Hedged {
+				rep.Hedges++
+			}
+			if res.HedgeWon {
+				rep.HedgeWins++
+			}
+			// Exactly one outcome bucket per logical request: a
+			// retried-then-OK request is one OK, so the count identity
+			// Requests = OK + Shed + ClientErrors + Errors + Dropped holds
+			// with the machinery engaged.
+			if res.Err != nil {
 				rep.Errors++
 				return
 			}
-			defer resp.Body.Close()
 			latencies = append(latencies, float64(lat)/float64(time.Millisecond))
 			switch {
-			case resp.StatusCode == http.StatusOK:
+			case res.Status == http.StatusOK:
 				rep.OK++
-				if resp.Header.Get(HeaderCoalesced) != "" {
+				if res.Header.Get(HeaderCoalesced) != "" {
 					rep.CoalesceHits++
 				}
-				if resp.Header.Get(HeaderWarm) != "" {
+				if res.Header.Get(HeaderWarm) != "" {
 					rep.WarmHits++
 				}
-			case resp.Header.Get(HeaderShedReason) != "":
+			case res.Shed != "":
 				rep.Shed++
-			case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			case res.Status >= 400 && res.Status < 500:
 				rep.ClientErrors++
 			default:
 				rep.Errors++

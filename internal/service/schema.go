@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+
+	"synts/internal/fleet"
 )
 
 // Schema identifiers. A response carries ResponseSchema so clients can
@@ -87,17 +89,23 @@ type SolveResponse struct {
 }
 
 // Response headers the service sets so clients (and the load generator)
-// can observe cache behaviour without it ever entering the body.
+// can observe cache behaviour without it ever entering the body. The shed
+// header is shared fleet-wide (router and client key on it too), so its
+// definition lives in internal/fleet and is aliased here.
 const (
-	HeaderCoalesced  = "X-Synts-Coalesced"   // "1": shared an in-flight solve
-	HeaderWarm       = "X-Synts-Warm"        // "1": served from the warm-start cache
-	HeaderShedReason = "X-Synts-Shed-Reason" // on 429/503: queue-full | draining
+	HeaderCoalesced  = "X-Synts-Coalesced" // "1": shared an in-flight solve
+	HeaderWarm       = "X-Synts-Warm"      // "1": served from the warm-start cache
+	HeaderShedReason = fleet.HeaderShedReason
 )
 
 // Admission/shed reasons (also the telemetry shed-event Reason values).
 const (
 	ShedQueueFull = "queue-full"
-	ShedDraining  = "draining"
+	ShedDraining  = fleet.ReasonDraining
+	// ShedTenantCap rejects a request because its tenant already has the
+	// configured maximum of requests in flight — per-tenant backpressure
+	// before one noisy tenant monopolises the shard queues.
+	ShedTenantCap = "tenant-cap"
 	// ReasonReqDrop is the fallback-event reason for a request failed by
 	// the req-drop chaos class.
 	ReasonReqDrop = "req-drop"

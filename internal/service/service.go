@@ -70,6 +70,10 @@ type Config struct {
 	WarmDir string
 	// WarmCap bounds the in-memory warm cache; <= 0 means 4096 entries.
 	WarmCap int
+	// TenantCap bounds one tenant's in-flight requests; <= 0 disables the
+	// cap. A tenant at its cap sheds 429/tenant-cap before touching shard
+	// queues, so one noisy tenant cannot monopolise them.
+	TenantCap int
 }
 
 // outcome is what coalesced requests share: the solve result plus how the
@@ -118,6 +122,9 @@ type Service struct {
 
 	spanMu   sync.Mutex
 	lastSpan map[string]int64 // tenant -> most recent request span ID
+
+	tenantMu   sync.Mutex
+	tenantLoad map[string]int // tenant -> in-flight count (TenantCap > 0)
 }
 
 // New builds the platform configs (one solver Config per pipe stage, the
@@ -132,11 +139,12 @@ func New(cfg Config) (*Service, error) {
 	}
 	opts := exp.DefaultOptions()
 	s := &Service{
-		cfg:      cfg,
-		stages:   make(map[string]*core.Config),
-		stageSet: make(map[string]bool),
-		tsrs:     exp.TSRs(),
-		lastSpan: make(map[string]int64),
+		cfg:        cfg,
+		stages:     make(map[string]*core.Config),
+		stageSet:   make(map[string]bool),
+		tsrs:       exp.TSRs(),
+		lastSpan:   make(map[string]int64),
+		tenantLoad: make(map[string]int),
 	}
 	s.levels = len(s.tsrs)
 	for _, st := range trace.Stages() {
@@ -378,6 +386,11 @@ func (s *Service) process(r *SolveRequest, w http.ResponseWriter) int {
 	}
 	defer s.inFlight.Done()
 
+	if !s.tenantAcquire(r.Tenant) {
+		return s.shed(r, w, ShedTenantCap, http.StatusTooManyRequests)
+	}
+	defer s.tenantRelease(r.Tenant)
+
 	// Per-request span, chained per tenant (Deps: this request logically
 	// follows the tenant's previous one — the paper's consecutive barrier
 	// intervals) so sched.Analyze recovers per-tenant critical paths.
@@ -470,6 +483,35 @@ func (s *Service) process(r *SolveRequest, w http.ResponseWriter) int {
 	return http.StatusOK
 }
 
+// tenantAcquire reserves one of the tenant's in-flight slots; with no cap
+// configured it is a no-op that always admits.
+func (s *Service) tenantAcquire(tenant string) bool {
+	if s.cfg.TenantCap <= 0 {
+		return true
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if s.tenantLoad[tenant] >= s.cfg.TenantCap {
+		return false
+	}
+	s.tenantLoad[tenant]++
+	return true
+}
+
+// tenantRelease returns a slot taken by tenantAcquire.
+func (s *Service) tenantRelease(tenant string) {
+	if s.cfg.TenantCap <= 0 {
+		return
+	}
+	s.tenantMu.Lock()
+	defer s.tenantMu.Unlock()
+	if n := s.tenantLoad[tenant] - 1; n > 0 {
+		s.tenantLoad[tenant] = n
+	} else {
+		delete(s.tenantLoad, tenant)
+	}
+}
+
 // shed rejects one request before solving: explicit status, a reason
 // header the load generator keys on, a shed counter, and a shed ledger
 // event so overload behaviour is auditable after the fact.
@@ -479,6 +521,8 @@ func (s *Service) shed(r *SolveRequest, w http.ResponseWriter, reason string, st
 		obs.C("service.shed.queue_full").Add(1)
 	case ShedDraining:
 		obs.C("service.shed.draining").Add(1)
+	case ShedTenantCap:
+		obs.C("service.shed.tenant_cap").Add(1)
 	}
 	if telemetry.Enabled() {
 		telemetry.Record(telemetry.Event{

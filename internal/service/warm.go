@@ -2,6 +2,7 @@ package service
 
 import (
 	"encoding/json"
+	"math"
 	"sync"
 
 	"synts/internal/ckpt"
@@ -51,8 +52,14 @@ func (w *warmCache) persisted() int {
 }
 
 // get returns the cached result for a payload digest, consulting memory
-// first and the ckpt store second. A disk hit is re-validated by schema
-// before use and promoted into memory.
+// first and the ckpt store second. The warm dir may be shared by several
+// daemons (two `synts serve` processes behind the router), so nothing read
+// from disk is trusted: a torn, foreign or implausible blob is rejected
+// entry by entry — counted in service.warm.rejected, never served, never
+// fatal — and only a fully validated result is promoted into memory.
+// Writes are tmp-then-rename atomic, so a sharer normally only ever sees
+// whole entries; the read-side checks are the defence for everything
+// abnormal (crashed writers, stray files, resp-torn-style corruption).
 func (w *warmCache) get(key uint64) (*solveResult, bool) {
 	w.mu.Lock()
 	r, ok := w.m[key]
@@ -63,16 +70,48 @@ func (w *warmCache) get(key uint64) (*solveResult, bool) {
 	if w.store == nil {
 		return nil, false
 	}
-	raw, ok := w.store.Load(entryName(key))
+	raw, ok, err := w.store.LoadChecked(entryName(key))
+	if err != nil {
+		obs.C("service.warm.rejected").Add(1)
+		return nil, false
+	}
 	if !ok {
 		return nil, false
 	}
 	var res solveResult
-	if err := json.Unmarshal(raw, &res); err != nil || res.Schema != ResultSchema {
+	if err := json.Unmarshal(raw, &res); err != nil || !resultValid(&res) {
+		obs.C("service.warm.rejected").Add(1)
 		return nil, false
 	}
 	w.put(key, &res)
 	return &res, true
+}
+
+// resultValid screens a deserialised solveResult before it may be served:
+// the schema tag, at least one core within the platform limit, and finite
+// non-negative aggregates. It rejects blobs that parse as JSON but are
+// not a plausible solve answer (a foreign writer's file that happens to
+// unmarshal, or a prefix that survived truncation inside a string).
+func resultValid(r *solveResult) bool {
+	if r.Schema != ResultSchema {
+		return false
+	}
+	if len(r.Cores) == 0 || len(r.Cores) > MaxCores {
+		return false
+	}
+	for _, v := range []float64{r.Energy, r.TExec, r.Cost} {
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return false
+		}
+	}
+	for _, c := range r.Cores {
+		for _, v := range []float64{c.V, c.TSR, c.Err, c.Replays, c.Energy, c.Time} {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // put records a completed result. Past the in-memory cap new entries are

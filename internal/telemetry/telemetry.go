@@ -61,6 +61,15 @@ const (
 	// behaviour becomes auditable in the same canonical ledger as the
 	// decisions it protected.
 	KindShed = "shed"
+	// KindBreaker is one circuit-breaker state transition in the fleet
+	// layer: Bench names the backend, Reason is "<state>:<cause>" (e.g.
+	// "open:consecutive-failures", "closed:probe-ok"), Core = -1.
+	KindBreaker = "breaker"
+	// KindFailover is one fleet failover: a request attempt lost its
+	// backend (Bench) and was replayed elsewhere — the system-level Razor
+	// replay. Reason names the cause (backend-error, backend-down,
+	// draining), Core = -1.
+	KindFailover = "failover"
 )
 
 // Scope names the experiment context an event was recorded under.
@@ -515,19 +524,20 @@ func ReadJSONLFile(path string) ([]Event, error) {
 // Validate checks one event against the synts-events/v1 contract.
 func (e *Event) Validate() error {
 	switch e.Kind {
-	case KindDecision, KindBarrier, KindEstimate, KindReplay, KindFallback, KindShed:
+	case KindDecision, KindBarrier, KindEstimate, KindReplay, KindFallback, KindShed, KindBreaker, KindFailover:
 	default:
 		return fmt.Errorf("unknown event kind %q", e.Kind)
 	}
-	reasoned := e.Kind == KindFallback || e.Kind == KindShed
+	reasoned := e.Kind == KindFallback || e.Kind == KindShed ||
+		e.Kind == KindBreaker || e.Kind == KindFailover
 	if reasoned && e.Reason == "" {
 		return fmt.Errorf("%s event: empty reason", e.Kind)
 	}
 	if !reasoned && e.Reason != "" {
 		return fmt.Errorf("%s event: unexpected reason %q", e.Kind, e.Reason)
 	}
-	if e.Kind == KindShed && e.Core != -1 {
-		return fmt.Errorf("shed event: core %d, want -1", e.Core)
+	if (e.Kind == KindShed || e.Kind == KindBreaker || e.Kind == KindFailover) && e.Core != -1 {
+		return fmt.Errorf("%s event: core %d, want -1", e.Kind, e.Core)
 	}
 	if e.Interval < 0 {
 		return fmt.Errorf("%s event: negative interval %d", e.Kind, e.Interval)
