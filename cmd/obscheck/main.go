@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"path/filepath"
+	"sort"
 	"strings"
 
 	"synts/internal/ckpt"
@@ -36,7 +38,7 @@ import (
 
 func main() {
 	statsPath := flag.String("stats", "", "path to a -stats-json snapshot")
-	tracePath := flag.String("trace", "", "path to a -trace-out Chrome trace")
+	tracePath := flag.String("trace", "", "path to a -trace-out Chrome trace, a synts-trace/v1 artifact, or a -trace-dir directory (dispatched by content)")
 	eventsPath := flag.String("events", "", "path to an -events-out decision ledger (synts-events/v1 JSONL)")
 	ckptPath := flag.String("ckpt", "", "path to a -checkpoint-dir directory (synts-ckpt/v1)")
 	simprofPath := flag.String("simprof", "", "path to a -simprof-out simulation profile (gzipped pprof profile.proto)")
@@ -171,14 +173,92 @@ func checkStats(path string) error {
 	return nil
 }
 
-// checkTrace enforces the Chrome trace-event contract: a JSON array of
-// complete events with name/ph/ts/dur/pid/tid, covering pool tasks,
-// profile builds and solver calls.
+// checkTrace dispatches on content: a JSON array is the batch pipeline's
+// Chrome trace-event file (-trace-out); a directory of *.trace.jsonl
+// artifacts, or a single synts-trace/v1 JSONL (including the merged
+// artifact `synts trace -merged` writes), is the fleet tracing surface.
 func checkTrace(path string) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	if st.IsDir() {
+		return checkFleetTrace(path)
+	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
+	if t := bytes.TrimLeft(raw, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+		return checkChromeTrace(raw)
+	}
+	return checkFleetTrace(path)
+}
+
+// checkFleetTrace enforces the synts-trace/v1 contract over one artifact
+// or a -trace-dir full of them: every span parses against the closed
+// producer vocabulary, every file is in canonical order (verified by
+// re-serialising and byte-comparing, the same diffability contract the
+// events ledger has), and the union of artifacts stitches into complete
+// trees — a client.request root per trace and zero orphan spans, i.e.
+// cross-process span IDs actually line up.
+func checkFleetTrace(path string) error {
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	files := []string{path}
+	if st.IsDir() {
+		files, err = filepath.Glob(filepath.Join(path, "*.trace.jsonl"))
+		if err != nil {
+			return err
+		}
+		sort.Strings(files)
+		if len(files) == 0 {
+			return fmt.Errorf("no *.trace.jsonl artifacts in %s", path)
+		}
+	}
+	var all []obs.TraceSpan
+	for _, f := range files {
+		raw, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		spans, err := obs.ReadTraceJSONL(bytes.NewReader(raw))
+		if err != nil {
+			return fmt.Errorf("%s: %w", f, err)
+		}
+		for i := range spans {
+			if err := spans[i].Validate(); err != nil {
+				return fmt.Errorf("%s: span %d: %w", f, i+1, err)
+			}
+		}
+		var canon bytes.Buffer
+		if err := obs.WriteTraceJSONL(&canon, spans); err != nil {
+			return err
+		}
+		if !bytes.Equal(raw, canon.Bytes()) {
+			return fmt.Errorf("%s: not in canonical order (or non-canonical encoding): re-serialising %d spans changed the bytes", f, len(spans))
+		}
+		all = append(all, spans...)
+	}
+	if len(all) == 0 {
+		return fmt.Errorf("artifacts contain no trace spans")
+	}
+	res := sched.Stitch(all)
+	if len(res.Trees) == 0 {
+		return fmt.Errorf("%d spans stitched into no complete trace (no client.request roots)", len(all))
+	}
+	if res.Orphans > 0 {
+		return fmt.Errorf("stitch left %d orphan span(s) across %d trace(s): per-process artifacts do not line up", res.Orphans, len(res.Trees))
+	}
+	return nil
+}
+
+// checkChromeTrace enforces the Chrome trace-event contract: a JSON array
+// of complete events with name/ph/ts/dur/pid/tid, covering pool tasks,
+// profile builds and solver calls.
+func checkChromeTrace(raw []byte) error {
 	var events []map[string]any
 	if err := json.Unmarshal(raw, &events); err != nil {
 		return fmt.Errorf("not a trace-event array: %w", err)

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 
 	"synts/internal/core"
 	"synts/internal/exp"
@@ -27,6 +28,7 @@ func runExplainCmd(args []string, stdout, stderr io.Writer) error {
 	fs := flag.NewFlagSet("explain", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	eventsIn := fs.String("events", "", "aggregate an existing ledger `file` instead of running the benchmark")
+	tracesIn := fs.String("traces", "", "join traced ledger events (shed/fallback/breaker/failover carrying a trace id) against synts-trace/v1 artifacts at `path` (file or -trace-dir directory)")
 	size := fs.Int("size", 2, "workload size knob")
 	seed := fs.Int64("seed", 2016, "workload data seed")
 	threads := fs.Int("threads", 4, "cores/threads")
@@ -43,6 +45,9 @@ func runExplainCmd(args []string, stdout, stderr io.Writer) error {
 	if bench == "" && *eventsIn == "" {
 		fs.Usage()
 		return fmt.Errorf("need a benchmark name or -events FILE")
+	}
+	if *tracesIn != "" && *eventsIn == "" {
+		return fmt.Errorf("-traces needs -events (the join reads a recorded ledger)")
 	}
 
 	var stages []trace.Stage
@@ -76,6 +81,12 @@ func runExplainCmd(args []string, stdout, stderr io.Writer) error {
 		}
 	}
 
+	if *tracesIn != "" {
+		if err := renderTraceJoin(stdout, events, *tracesIn); err != nil {
+			return err
+		}
+	}
+
 	summaries := telemetry.Aggregate(events, bench)
 	if *stageName != "" {
 		kept := summaries[:0]
@@ -87,6 +98,11 @@ func runExplainCmd(args []string, stdout, stderr io.Writer) error {
 		summaries = kept
 	}
 	if len(summaries) == 0 {
+		// A fleet ledger (router/daemon resilience events) has no per-stage
+		// solver decisions; if the run was a trace join, that is the answer.
+		if *tracesIn != "" {
+			return nil
+		}
 		return fmt.Errorf("no ledger events for benchmark %q", bench)
 	}
 	for _, s := range summaries {
@@ -106,6 +122,54 @@ func runExplainCmd(args []string, stdout, stderr io.Writer) error {
 			fmt.Fprintf(stdout, "ledger overflow: %d events dropped past the in-memory cap; the analysis above is partial\n", dropped)
 		}
 	}
+	return nil
+}
+
+// renderTraceJoin joins the ledger's traced resilience events
+// (shed/fallback/breaker/failover carrying a 16-hex trace id) against a
+// run's synts-trace/v1 artifacts: per event kind, how many ledger
+// decisions are attributable to a stitched trace — the "why was THIS
+// request slow/shed" join the tracing tentpole exists for.
+func renderTraceJoin(w io.Writer, events []telemetry.Event, tracesPath string) error {
+	spans, files, err := readTraceArtifacts(tracesPath)
+	if err != nil {
+		return err
+	}
+	known := make(map[string]bool, len(spans))
+	for i := range spans {
+		known[spans[i].Trace] = true
+	}
+	traced, matched := 0, 0
+	distinct := map[string]bool{}
+	byKind := map[string]int{}
+	for i := range events {
+		t := events[i].Trace
+		if t == "" {
+			continue
+		}
+		traced++
+		distinct[t] = true
+		byKind[events[i].Kind]++
+		if known[t] {
+			matched++
+		}
+	}
+	fmt.Fprintf(w, "ledger-trace join (%d artifact(s), %d trace span(s)):\n", files, len(spans))
+	if traced == 0 {
+		fmt.Fprintln(w, "  no ledger events carry a trace id (untraced run)")
+		return nil
+	}
+	fmt.Fprintf(w, "  %d traced event(s) over %d distinct trace(s); %d matched a recorded trace, %d dangling\n",
+		traced, len(distinct), matched, traced-matched)
+	kinds := make([]string, 0, len(byKind))
+	for k := range byKind {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fmt.Fprintf(w, "  %-10s %d\n", k, byKind[k])
+	}
+	fmt.Fprintln(w)
 	return nil
 }
 

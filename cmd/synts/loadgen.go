@@ -15,8 +15,10 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"time"
 
+	"synts/internal/obs"
 	"synts/internal/service"
 )
 
@@ -38,6 +40,7 @@ func runLoadgenCmd(args []string, stdout, stderr io.Writer) error {
 	sloErr := fs.Float64("slo-max-error-frac", 0, "SLO: fail if (errors+dropped)/requests exceeds this fraction")
 	out := fs.String("o", "", "write the synts-load/v1 report to `file` (default stdout)")
 	failOnSLO := fs.Bool("fail-on-slo", false, "exit non-zero when the SLO gate fails")
+	traceDir := fs.String("trace-dir", "", "enable distributed tracing: inject X-Synts-Trace headers and write the client-side synts-trace/v1 artifact (loadgen.trace.jsonl) into `dir`")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: synts loadgen [-url URL] [-rps N] [-duration D] [-seed N] [-o FILE]\n\nflags:\n")
 		fs.PrintDefaults()
@@ -47,6 +50,12 @@ func runLoadgenCmd(args []string, stdout, stderr io.Writer) error {
 	}
 	if fs.NArg() > 0 {
 		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+		obs.TraceEnable("loadgen")
 	}
 
 	rep, err := service.RunLoad(service.LoadOptions{
@@ -64,9 +73,18 @@ func runLoadgenCmd(args []string, stdout, stderr io.Writer) error {
 		},
 		MaxInFlight: *maxInflight,
 		SLO:         service.SLO{P95MaxMs: *sloP95, MaxErrorFrac: *sloErr},
+		Trace:       *traceDir != "",
 	})
 	if err != nil {
 		return err
+	}
+	if *traceDir != "" {
+		obs.TraceDisable()
+		p := filepath.Join(*traceDir, "loadgen.trace.jsonl")
+		if err := obs.WriteTraceFile(p); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "synts loadgen: trace artifact: %s\n", p)
 	}
 	raw, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -86,6 +104,11 @@ func runLoadgenCmd(args []string, stdout, stderr io.Writer) error {
 	if rep.Retries+rep.Hedges+rep.Failovers > 0 {
 		fmt.Fprintf(stderr, "synts loadgen: resilience: %d retries, %d hedges (%d won), %d failovers\n",
 			rep.Retries, rep.Hedges, rep.HedgeWins, rep.Failovers)
+	}
+	if rep.OK > 0 {
+		hb := rep.HopBreakdown.P99
+		fmt.Fprintf(stderr, "synts loadgen: p99 attribution: total %.2f ms = client-queue %.2f + retry-wait %.2f + network %.2f + router %.2f + daemon-queue %.2f + solve %.2f (hedge overlap %.2f)\n",
+			hb.TotalMs, hb.ClientQueueMs, hb.RetryWaitMs, hb.NetworkMs, hb.RouterMs, hb.DaemonQueueMs, hb.SolveMs, hb.HedgeOverlapMs)
 	}
 	if *failOnSLO && !rep.SLOPass {
 		return fmt.Errorf("SLO gate failed (p95 %.2f ms vs %.2f ms max; error frac %.4f vs %.4f max)",

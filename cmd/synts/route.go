@@ -27,6 +27,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
@@ -53,6 +54,7 @@ func runRouteCmd(args []string, stdout, stderr io.Writer) error {
 	chaosSpec := fs.String("chaos", "off", "deterministic fault injection `spec`: class[=rate],... (fleet classes: backend-down, backend-flap, resp-torn, net-slow)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the fault injector's decisions")
 	eventsOut := fs.String("events-out", "", "write the router ledger (synts-events/v1 JSONL, breaker + failover events) to `file` on shutdown")
+	traceDir := fs.String("trace-dir", "", "record distributed-trace context on routed requests and write the router's synts-trace/v1 artifact into `dir` on shutdown")
 	plan := fs.Int("plan", 0, "print the routing plan for the first `N` seeded loadgen bodies and exit (no server)")
 	planSeed := fs.Int64("plan-seed", 1, "request-stream seed for -plan (matches loadgen -seed)")
 	fs.Usage = func() {
@@ -125,19 +127,14 @@ func runRouteCmd(args []string, stdout, stderr io.Writer) error {
 	if err := faults.Enable(*chaosSpec, *chaosSeed); err != nil {
 		return fmt.Errorf("-chaos: %w", err)
 	}
-
-	mux := http.NewServeMux()
-	rt.Register(mux)
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
-		obs.C("route.scrapes").Add(1)
-		var buf bytes.Buffer
-		if err := obs.Default().WritePrometheus(&buf); err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
 		}
-		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		w.Write(buf.Bytes())
-	})
+		obs.TraceEnable(traceProcName("route", *addr))
+	}
+
+	mux := newRouteMux(rt)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -167,5 +164,33 @@ func runRouteCmd(args []string, stdout, stderr io.Writer) error {
 			return err
 		}
 	}
+	if *traceDir != "" {
+		obs.TraceDisable()
+		p := filepath.Join(*traceDir, traceProcName("route", *addr)+".trace.jsonl")
+		if err := obs.WriteTraceFile(p); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "synts route: trace artifact: %s\n", p)
+	}
 	return nil
+}
+
+// newRouteMux builds the router's handler tree: the routed /v1/solve plus
+// the /metrics Prometheus exposition carrying the per-backend RED metrics
+// and breaker-state gauges. Factored out of runRouteCmd so tests can
+// scrape and grammar-check /metrics through httptest without a socket.
+func newRouteMux(rt *fleet.Router) *http.ServeMux {
+	mux := http.NewServeMux()
+	rt.Register(mux)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, req *http.Request) {
+		obs.C("route.scrapes").Add(1)
+		var buf bytes.Buffer
+		if err := obs.Default().WritePrometheus(&buf); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+	return mux
 }

@@ -28,6 +28,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"syscall"
@@ -117,6 +118,7 @@ func runServeCmd(args []string, stdout, stderr io.Writer) error {
 	chaosSpec := fs.String("chaos", "off", "deterministic fault injection `spec`: class[=rate],... (adds req-slow, req-drop to the batch classes)")
 	chaosSeed := fs.Int64("chaos-seed", 1, "seed for the fault injector's decisions")
 	eventsOut := fs.String("events-out", "", "write the decision ledger (synts-events/v1 JSONL) to `file` on shutdown")
+	traceDir := fs.String("trace-dir", "", "record incoming distributed-trace context and write this daemon's synts-trace/v1 artifact into `dir` on shutdown")
 	exitWhenDone := fs.Bool("exit-when-done", false, "shut down once the background experiments finish (instead of serving until signalled)")
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: synts serve [-addr HOST:PORT] [flags] [experiment ...]\n\nflags:\n")
@@ -137,6 +139,12 @@ func runServeCmd(args []string, stdout, stderr io.Writer) error {
 	}
 	if err := faults.Enable(*chaosSpec, *chaosSeed); err != nil {
 		return fmt.Errorf("-chaos: %w", err)
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
+		obs.TraceEnable(traceProcName("serve", *addr))
 	}
 
 	svc, err := service.New(service.Config{Shards: *shards, QueueLen: *queueLen, WarmDir: *warmDir, TenantCap: *tenantCap})
@@ -222,6 +230,14 @@ loop:
 		if err := telemetry.WriteJSONLFile(*eventsOut); err != nil {
 			return err
 		}
+	}
+	if *traceDir != "" {
+		obs.TraceDisable()
+		p := filepath.Join(*traceDir, traceProcName("serve", *addr)+".trace.jsonl")
+		if err := obs.WriteTraceFile(p); err != nil {
+			return err
+		}
+		fmt.Fprintf(stderr, "synts serve: trace artifact: %s\n", p)
 	}
 	return runErr
 }

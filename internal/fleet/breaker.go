@@ -60,7 +60,10 @@ type BreakerConfig struct {
 	Now func() time.Time
 	// OnTransition observes every state change (called outside the
 	// breaker lock is NOT guaranteed — keep it fast and reentrancy-free).
-	OnTransition func(from, to BreakerState, reason string)
+	// trace is the distributed-trace ID of the request whose outcome
+	// caused the transition ("" when no traced request was involved, e.g.
+	// the lazy open → half-open cooldown flip or a health-probe outcome).
+	OnTransition func(from, to BreakerState, reason, trace string)
 }
 
 // Breaker is one per-backend circuit breaker: closed → open on
@@ -125,7 +128,7 @@ func (b *Breaker) Allow() bool {
 		if b.cfg.Now().Sub(b.openedAt) < b.cfg.Cooldown {
 			return false
 		}
-		b.transition(BreakerHalfOpen, TransCooldown)
+		b.transition(BreakerHalfOpen, TransCooldown, "")
 		b.probing = true
 		return true
 	case BreakerHalfOpen:
@@ -139,7 +142,12 @@ func (b *Breaker) Allow() bool {
 }
 
 // Record feeds one admitted request's outcome back.
-func (b *Breaker) Record(ok bool) {
+func (b *Breaker) Record(ok bool) { b.RecordT(ok, "") }
+
+// RecordT is Record carrying the distributed-trace ID of the request
+// whose outcome is being fed back, so a transition this outcome causes is
+// attributable to the trace in the ledger (ISSUE: ledger↔trace linking).
+func (b *Breaker) RecordT(ok bool, trace string) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	switch b.state {
@@ -147,10 +155,10 @@ func (b *Breaker) Record(ok bool) {
 		b.probing = false
 		if ok {
 			b.reset()
-			b.transition(BreakerClosed, TransProbeOK)
+			b.transition(BreakerClosed, TransProbeOK, trace)
 		} else {
 			b.openedAt = b.cfg.Now()
-			b.transition(BreakerOpen, TransProbeFail)
+			b.transition(BreakerOpen, TransProbeFail, trace)
 		}
 	case BreakerClosed:
 		if ok {
@@ -161,13 +169,13 @@ func (b *Breaker) Record(ok bool) {
 		b.observe(!ok)
 		if b.consec >= b.cfg.Failures {
 			b.openedAt = b.cfg.Now()
-			b.transition(BreakerOpen, TransConsecutive)
+			b.transition(BreakerOpen, TransConsecutive, trace)
 			return
 		}
 		if b.cfg.ErrorRate > 0 && b.wfilled == len(b.window) &&
 			float64(b.wfails) >= b.cfg.ErrorRate*float64(len(b.window)) {
 			b.openedAt = b.cfg.Now()
-			b.transition(BreakerOpen, TransErrorRate)
+			b.transition(BreakerOpen, TransErrorRate, trace)
 		}
 	case BreakerOpen:
 		// A straggler from before the trip; the cooldown already governs.
@@ -200,10 +208,10 @@ func (b *Breaker) reset() {
 }
 
 // transition flips the state and notifies; callers hold b.mu.
-func (b *Breaker) transition(to BreakerState, reason string) {
+func (b *Breaker) transition(to BreakerState, reason, trace string) {
 	from := b.state
 	b.state = to
 	if b.cfg.OnTransition != nil && from != to {
-		b.cfg.OnTransition(from, to, reason)
+		b.cfg.OnTransition(from, to, reason, trace)
 	}
 }

@@ -15,7 +15,7 @@ func (f *fakeClock) advance(d time.Duration) { f.t = f.t.Add(d) }
 // trace collects transitions as "from->to:reason" strings.
 type trace struct{ steps []string }
 
-func (tr *trace) hook(from, to BreakerState, reason string) {
+func (tr *trace) hook(from, to BreakerState, reason, traceID string) {
 	tr.steps = append(tr.steps, fmt.Sprintf("%s->%s:%s", from, to, reason))
 }
 

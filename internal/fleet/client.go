@@ -57,8 +57,47 @@ type ClientConfig struct {
 	HedgeMinSamples int
 	// Breaker configures the per-backend circuit breakers.
 	Breaker BreakerConfig
+	// Trace enables distributed-trace propagation: every attempt carries
+	// X-Synts-Trace/-Parent-Span/-Hop headers (trace ID = the body
+	// digest, so a seeded stream reproduces the same traces run-to-run)
+	// and, when the obs trace collector is on, records client attempt and
+	// backoff spans. Off by default and provably inert when off: the
+	// per-hop Breakdown is computed from response timing headers either
+	// way.
+	Trace bool
 	// Transport overrides the HTTP transport (tests).
 	Transport http.RoundTripper
+}
+
+// Breakdown decomposes one logical request's end-to-end latency into the
+// per-hop components of the `synts trace` attribution model. All serial
+// components (everything except HedgeOverlapNs, which is time two lanes
+// raced in parallel) sum to at most the end-to-end latency; the remainder
+// is ClientQueueNs, filled by the caller who owns the end-to-end clock.
+type Breakdown struct {
+	// ClientQueueNs is end-to-end time not spent in the winning lane's
+	// attempts or backoffs (scheduling, breaker scans, hedge waits).
+	ClientQueueNs int64
+	// RetryWaitNs is backoff sleep on the winning lane.
+	RetryWaitNs int64
+	// NetworkNs is attempt wall time not accounted to the router or
+	// daemon by their timing headers — wire time plus failed attempts.
+	NetworkNs int64
+	// RouterNs is router handling time beyond the backend's own
+	// (X-Synts-Route-Ns − X-Synts-Server-Ns); 0 for direct requests.
+	RouterNs int64
+	// DaemonQueueNs is daemon handling time outside the shard solve
+	// (X-Synts-Server-Ns − X-Synts-Solve-Ns): shard-queue wait plus
+	// handler overhead.
+	DaemonQueueNs int64
+	// SolveNs is the shard worker's solve time (X-Synts-Solve-Ns).
+	SolveNs int64
+	// HedgeOverlapNs is wall time the primary and hedge lanes overlapped
+	// (parallel, excluded from the serial sum).
+	HedgeOverlapNs int64
+	// AttemptsWallNs is total attempt wall time on the winning lane
+	// (bookkeeping for ClientQueueNs; not a report component itself).
+	AttemptsWallNs int64
 }
 
 // Result is one logical request's outcome after all resilience machinery
@@ -82,6 +121,10 @@ type Result struct {
 	// Shed reports the shed reason header of the final response ("" if
 	// none): sheds are the service coping, not the client failing.
 	Shed string
+	// Trace is the request's 16-hex trace ID ("" when tracing is off).
+	Trace string
+	// Breakdown decomposes the request's latency by hop (see Breakdown).
+	Breakdown Breakdown
 }
 
 // latWindow is the hedge-delay latency sample window size.
@@ -159,9 +202,10 @@ func (c *Client) Do(body []byte) *Result {
 	timer := time.NewTimer(c.hedgeDelay())
 	defer timer.Stop()
 	hedged := false
+	var hedgeStart time.Time
 	pending := 1
 	var winner lane
-	for {
+	for winner.res == nil {
 		select {
 		case l := <-ch:
 			pending--
@@ -171,6 +215,7 @@ func (c *Client) Do(body []byte) *Result {
 		case <-timer.C:
 			if !hedged {
 				hedged = true
+				hedgeStart = time.Now()
 				pending++
 				obs.C("fleet.client.hedges").Add(1)
 				// The hedge lane starts one position further along the
@@ -178,26 +223,45 @@ func (c *Client) Do(body []byte) *Result {
 				// backend first.
 				go func() { ch <- lane{c.runLane(ctx, body, 1), true} }()
 			}
-			continue
-		}
-		if winner.res != nil {
-			break
 		}
 	}
 	res := winner.res
 	res.Hedged = hedged
-	if hedged && winner.hedge && res.Err == nil {
-		res.HedgeWon = true
-		obs.C("fleet.client.hedge_wins").Add(1)
+	if hedged {
+		// Both lanes raced from hedge launch to the winner's completion:
+		// parallel time, attributed as hedge-overlap and excluded from the
+		// serial latency decomposition.
+		if ov := time.Since(hedgeStart).Nanoseconds(); ov > 0 {
+			res.Breakdown.HedgeOverlapNs = ov
+		}
+		if winner.hedge && res.Err == nil {
+			res.HedgeWon = true
+			obs.C("fleet.client.hedge_wins").Add(1)
+		}
+		// Cancel the losing lane and wait for it to wind down so its trace
+		// spans are collected before the caller reads the artifact. The
+		// abort is immediate: the context cancellation fails the lane's
+		// in-flight POST.
+		cancel()
+		for ; pending > 0; pending-- {
+			<-ch
+		}
 	}
 	return res
 }
 
 // runLane is one attempt loop: pick a backend (honouring breakers), POST,
 // classify, maybe back off and fail over. laneOffset rotates the failover
-// sequence so hedge lanes lead with a different backend.
+// sequence so hedge lanes lead with a different backend, and doubles as
+// the lane index (0 = primary, 1 = hedge) on trace spans.
 func (c *Client) runLane(ctx context.Context, body []byte, laneOffset int) *Result {
 	res := &Result{}
+	var trace uint64
+	if c.cfg.Trace {
+		trace = BodyDigest(body)
+		res.Trace = obs.TraceHex(trace)
+	}
+	traceOn := c.cfg.Trace && obs.TraceEnabled()
 	seq := c.ring.Seq(BodyDigest(body))
 	attempts := c.cfg.Retries + 1
 	last := -1
@@ -207,9 +271,20 @@ func (c *Client) runLane(ctx context.Context, body []byte, laneOffset int) *Resu
 		if a > 0 {
 			res.Retries++
 			obs.C("fleet.client.retries").Add(1)
+			w0 := time.Now()
 			select {
 			case <-time.After(c.backoff(a)):
 			case <-ctx.Done():
+			}
+			res.Breakdown.RetryWaitNs += time.Since(w0).Nanoseconds()
+			if traceOn {
+				obs.TraceRecord(obs.TraceSpan{
+					Trace: obs.TraceHex(trace), Parent: obs.TraceHex(trace),
+					Span: obs.TraceHex(obs.TraceDerive(trace, trace, obs.TSClientBackoff, laneOffset<<16|a)),
+					Name: obs.TSClientBackoff, Kind: obs.HopWait, Lane: laneOffset,
+				}, w0, time.Now())
+			}
+			if ctx.Err() != nil {
 				res.Err = ctx.Err()
 				return res
 			}
@@ -219,45 +294,81 @@ func (c *Client) runLane(ctx context.Context, body []byte, laneOffset int) *Resu
 			lastErr = ErrAllBreakersOpen
 			continue // the cooldown may elapse within the deadline
 		}
+		hop := obs.HopFirst
+		switch {
+		case a == 0 && laneOffset > 0:
+			hop = obs.HopHedge
+		case a > 0 && last >= 0 && idx != last:
+			hop = obs.HopFailover
+		case a > 0:
+			hop = obs.HopRetry
+		}
 		if last >= 0 && idx != last {
 			res.Failovers++
 			obs.C("fleet.client.failovers").Add(1)
 		}
 		last = idx
-		status, header, respBody, err := c.attempt(ctx, idx, body)
+		attemptSpan := obs.TraceDerive(trace, trace, obs.TSClientAttempt, laneOffset<<16|a)
+		t0 := time.Now()
+		status, header, respBody, err := c.attempt(ctx, idx, body, trace, attemptSpan, hop)
+		wall := time.Since(t0)
+		res.Breakdown.AttemptsWallNs += wall.Nanoseconds()
+		recordAttempt := func(detail string) {
+			if !traceOn {
+				return
+			}
+			obs.TraceRecord(obs.TraceSpan{
+				Trace: obs.TraceHex(trace), Parent: obs.TraceHex(trace),
+				Span: obs.TraceHex(attemptSpan), Name: obs.TSClientAttempt,
+				Kind: hop, Lane: laneOffset, Backend: c.cfg.URLs[idx],
+				Detail: detail,
+			}, t0, t0.Add(wall))
+		}
 		br := c.breakers[idx]
 		if err != nil {
-			br.Record(false)
+			br.RecordT(false, res.Trace)
 			lastErr = err
 			if ctx.Err() != nil {
+				recordAttempt("cancelled")
 				res.Err = ctx.Err()
 				return res
 			}
+			recordAttempt("error")
 			continue
 		}
 		shed := header.Get(HeaderShedReason)
 		if status >= 500 && shed == "" {
-			br.Record(false)
+			br.RecordT(false, res.Trace)
+			recordAttempt(fmt.Sprintf("status:%d", status))
 			lastErr = fmt.Errorf("fleet: backend %d answered %d", idx, status)
 			continue
 		}
-		br.Record(true)
+		br.RecordT(true, res.Trace)
 		if shed == ReasonDraining && len(seq) > 1 && a+1 < attempts {
 			// An orderly drain is not a failure — don't trip the breaker —
 			// but the work should land elsewhere. Remember the shed as the
 			// answer of last resort and fail over.
-			lastShed = &Result{Status: status, Header: header, Body: respBody, Shed: shed}
+			recordAttempt("shed:" + shed)
+			lastShed = &Result{Status: status, Header: header, Body: respBody, Shed: shed, Trace: res.Trace}
 			lastErr = nil
 			continue
 		}
+		detail := "ok"
+		if shed != "" {
+			detail = "shed:" + shed
+		}
+		recordAttempt(detail)
 		res.Status, res.Header, res.Body, res.Shed = status, header, respBody, shed
 		if n, err := strconv.Atoi(header.Get(HeaderFailover)); err == nil && n > 0 {
 			res.Failovers += n
 		}
+		fillBreakdown(res)
 		return res
 	}
 	if lastShed != nil {
 		lastShed.Retries, lastShed.Failovers = res.Retries, res.Failovers
+		lastShed.Breakdown = res.Breakdown
+		fillBreakdown(lastShed)
 		return lastShed
 	}
 	if lastErr == nil {
@@ -265,6 +376,32 @@ func (c *Client) runLane(ctx context.Context, body []byte, laneOffset int) *Resu
 	}
 	res.Err = lastErr
 	return res
+}
+
+// fillBreakdown derives the network/router/daemon components from the
+// final response's timing headers and the lane's accumulated attempt wall
+// time. Pure header arithmetic — identical with tracing on or off.
+func fillBreakdown(res *Result) {
+	if res.Header == nil {
+		return
+	}
+	bd := &res.Breakdown
+	serverNs := headerNs(res.Header, HeaderServerNs)
+	routeNs := headerNs(res.Header, HeaderRouteNs)
+	bd.SolveNs = headerNs(res.Header, HeaderSolveNs)
+	if d := serverNs - bd.SolveNs; d > 0 {
+		bd.DaemonQueueNs = d
+	}
+	outer := serverNs
+	if routeNs > 0 {
+		outer = routeNs
+		if d := routeNs - serverNs; d > 0 {
+			bd.RouterNs = d
+		}
+	}
+	if d := bd.AttemptsWallNs - outer; d > 0 {
+		bd.NetworkNs = d
+	}
 }
 
 // pickAllowed scans the failover sequence from position pos for the first
@@ -282,13 +419,17 @@ func (c *Client) pickAllowed(seq []int, pos int) int {
 
 // attempt is one POST to one backend. A response-body read error (the
 // resp-torn chaos class, or a connection cut mid-body) is an attempt
-// failure, not a final answer.
-func (c *Client) attempt(ctx context.Context, idx int, body []byte) (int, http.Header, []byte, error) {
+// failure, not a final answer. With tracing on, the attempt's trace
+// context rides along so the downstream hop parents its spans correctly.
+func (c *Client) attempt(ctx context.Context, idx int, body []byte, trace, span uint64, hop string) (int, http.Header, []byte, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.URLs[idx]+SolvePath, bytes.NewReader(body))
 	if err != nil {
 		return 0, nil, nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if trace != 0 {
+		SetTraceHeaders(req.Header, trace, span, hop)
+	}
 	t0 := time.Now()
 	resp, err := c.hc.Do(req)
 	if err != nil {

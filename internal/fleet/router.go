@@ -104,15 +104,20 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		start: time.Now(),
 		stop:  make(chan struct{}),
 	}
-	for _, u := range cfg.Backends {
+	for i, u := range cfg.Backends {
 		name := u
 		if j := len("http://"); len(u) > j && (u[:j] == "http://") {
 			name = u[j:]
 		}
 		b := &backend{url: u, name: name}
+		gauge := "route.backend.b" + strconv.Itoa(i) + ".breaker_state"
 		bcfg := cfg.Breaker
-		bcfg.OnTransition = func(from, to BreakerState, reason string) {
+		bcfg.OnTransition = func(from, to BreakerState, reason, trace string) {
 			obs.C("route.breaker." + to.String()).Add(1)
+			// Breaker position as a gauge (closed=0, open=1, half-open=2)
+			// so the /metrics surface exposes live breaker state per
+			// backend alongside the RED counters.
+			obs.G(gauge).Set(float64(to))
 			if telemetry.Enabled() {
 				telemetry.Record(telemetry.Event{
 					Kind:   telemetry.KindBreaker,
@@ -120,6 +125,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 					Solver: RouterSolverName,
 					Core:   -1,
 					Reason: to.String() + ":" + reason,
+					Trace:  trace,
 				})
 			}
 		}
@@ -280,6 +286,25 @@ func (rt *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 	sp := obs.StartSpan("route.request")
 	defer sp.End()
 
+	// Incoming distributed-trace context. The route.request span parents
+	// one route.hop per backend examined (skips included, as zero-length
+	// hops), so the stitched tree shows the whole ring walk.
+	tr := &routeTrace{tc: ParseTraceHeaders(req.Header)}
+	if tr.tc.Valid() {
+		sp.SetTrace(tr.tc.TraceHex(), hexOrEmpty(tr.tc.Parent), tr.tc.Hop)
+		tr.reqSpan = obs.TraceDerive(tr.tc.Trace, tr.tc.Parent, obs.TSRouteRequest, 0)
+		tr.on = obs.TraceEnabled()
+		if tr.on {
+			defer func(t0 time.Time) {
+				obs.TraceRecord(obs.TraceSpan{
+					Trace: tr.tc.TraceHex(), Span: obs.TraceHex(tr.reqSpan),
+					Parent: hexOrEmpty(tr.tc.Parent), Name: obs.TSRouteRequest,
+					Kind: tr.tc.Hop, Detail: tr.detail,
+				}, t0, time.Now())
+			}(start)
+		}
+	}
+
 	seq := rt.ring.Seq(digest)
 	window := rt.chaosWindow()
 	hops := 0
@@ -291,14 +316,16 @@ func (rt *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 		b := rt.backends[idx]
 		if !b.isReady() {
 			obs.C("route.remapped").Add(1)
+			tr.recordSkip(b, "unready")
 			continue
 		}
 		if !b.breaker.Allow() {
 			obs.C("route.skipped.breaker_open").Add(1)
+			tr.recordSkip(b, "breaker-open")
 			continue
 		}
 		attempted++
-		ok, done := rt.tryBackend(w, b, idx, body, digest, window, hops, start, sp)
+		ok, done := rt.tryBackend(w, b, idx, body, digest, window, hops, start, sp, tr)
 		if done {
 			return
 		}
@@ -307,6 +334,7 @@ func (rt *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 		}
 	}
 	// Nothing answered: an explicit shed, visible in metrics and ledger.
+	tr.detail = "shed:" + ReasonNoBackends
 	obs.C("route.shed.no_backends").Add(1)
 	if telemetry.Enabled() {
 		telemetry.Record(telemetry.Event{
@@ -314,18 +342,88 @@ func (rt *Router) handleSolve(w http.ResponseWriter, req *http.Request) {
 			Solver: RouterSolverName,
 			Core:   -1,
 			Reason: ReasonNoBackends,
+			Trace:  tr.tc.TraceHex(),
 		})
 	}
 	w.Header().Set(HeaderShedReason, ReasonNoBackends)
+	w.Header().Set(HeaderRouteNs, strconv.FormatInt(time.Since(start).Nanoseconds(), 10))
 	http.Error(w, "shed: "+ReasonNoBackends, http.StatusServiceUnavailable)
+}
+
+// routeTrace is one proxied request's trace state: the parsed incoming
+// context, the derived route.request span ID, and the running hop index
+// that makes every hop span ID deterministic for the request.
+type routeTrace struct {
+	tc      TraceCtx
+	on      bool // record spans locally (context may propagate regardless)
+	reqSpan uint64
+	hopIdx  int
+	detail  string
+}
+
+// nextHop derives the next route.hop span ID (valid context only).
+func (tr *routeTrace) nextHop() uint64 {
+	id := obs.TraceDerive(tr.tc.Trace, tr.reqSpan, obs.TSRouteHop, tr.hopIdx)
+	tr.hopIdx++
+	return id
+}
+
+// recordSkip records a zero-length hop for a backend the ring walk passed
+// over (unready or breaker-open) — the skip is part of the request's
+// critical path and `synts trace` counts traces that crossed one.
+func (tr *routeTrace) recordSkip(b *backend, detail string) {
+	if !tr.tc.Valid() {
+		return
+	}
+	id := tr.nextHop()
+	if !tr.on {
+		return
+	}
+	now := time.Now()
+	obs.TraceRecord(obs.TraceSpan{
+		Trace: tr.tc.TraceHex(), Span: obs.TraceHex(id),
+		Parent: obs.TraceHex(tr.reqSpan), Name: obs.TSRouteHop,
+		Kind: obs.HopSkip, Backend: b.name, Detail: detail,
+	}, now, now)
+}
+
+// hexOrEmpty renders an ID as 16-hex, or "" for the zero ID (root spans).
+func hexOrEmpty(id uint64) string {
+	if id == 0 {
+		return ""
+	}
+	return obs.TraceHex(id)
 }
 
 // tryBackend proxies the request to one backend. Returns done=true when a
 // response (success or passthrough) was written; ok=false when the
 // attempt failed and the caller should fail over.
-func (rt *Router) tryBackend(w http.ResponseWriter, b *backend, idx int, body []byte, digest, window uint64, hops int, start time.Time, sp *obs.Span) (ok, done bool) {
+func (rt *Router) tryBackend(w http.ResponseWriter, b *backend, idx int, body []byte, digest, window uint64, hops int, start time.Time, sp *obs.Span, tr *routeTrace) (ok, done bool) {
 	red := "route.backend.b" + strconv.Itoa(idx)
 	obs.C(red + ".requests").Add(1)
+
+	// One route.hop span per attempted backend: kind "first" for the hash
+	// pick, "failover" for every replay further along the ring.
+	hopKind := obs.HopFirst
+	if hops > 0 {
+		hopKind = obs.HopFailover
+	}
+	var hopSpan uint64
+	if tr.tc.Valid() {
+		hopSpan = tr.nextHop()
+	}
+	hopStart := time.Now()
+	recordHop := func(detail string) {
+		if !tr.on {
+			return
+		}
+		obs.TraceRecord(obs.TraceSpan{
+			Trace: tr.tc.TraceHex(), Span: obs.TraceHex(hopSpan),
+			Parent: obs.TraceHex(tr.reqSpan), Name: obs.TSRouteHop,
+			Kind: hopKind, Backend: b.name, Detail: detail,
+		}, hopStart, time.Now())
+	}
+	trace := tr.tc.TraceHex()
 
 	if faults.Enabled() {
 		if d := faults.HopDelay(uint64(idx), digest); d > 0 {
@@ -334,50 +432,66 @@ func (rt *Router) tryBackend(w http.ResponseWriter, b *backend, idx int, body []
 		}
 		if faults.BackendDownAt(uint64(idx), window) {
 			obs.C("route.chaos.backend_down").Add(1)
-			rt.failAttempt(b, red, "backend-down")
+			rt.failAttempt(b, red, "backend-down", trace)
+			recordHop("backend-down")
 			return false, false
 		}
 	}
 
 	req, err := http.NewRequest(http.MethodPost, b.url+SolvePath, io.NopCloser(newByteReader(body)))
 	if err != nil {
-		rt.failAttempt(b, red, "backend-error")
+		rt.failAttempt(b, red, "backend-error", trace)
+		recordHop("backend-error")
 		return false, false
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.ContentLength = int64(len(body))
+	if tr.tc.Valid() {
+		// Forward the trace: the hop span becomes the daemon's parent. The
+		// hop *kind* forwarded downstream keeps the client's first/retry/
+		// hedge label unless this hop is itself a failover replay.
+		fwdHop := tr.tc.Hop
+		if hops > 0 {
+			fwdHop = obs.HopFailover
+		}
+		SetTraceHeaders(req.Header, tr.tc.Trace, hopSpan, fwdHop)
+	}
 	hc := &http.Client{Transport: rt.cfg.Transport, Timeout: rt.cfg.Timeout}
 	resp, err := hc.Do(req)
 	if err != nil {
-		rt.failAttempt(b, red, "backend-error")
+		rt.failAttempt(b, red, "backend-error", trace)
+		recordHop("backend-error")
 		return false, false
 	}
 	respBody, err := io.ReadAll(resp.Body)
 	resp.Body.Close()
 	if err != nil {
-		rt.failAttempt(b, red, "backend-error")
+		rt.failAttempt(b, red, "backend-error", trace)
+		recordHop("backend-error")
 		return false, false
 	}
 	shed := resp.Header.Get(HeaderShedReason)
 	if resp.StatusCode >= 500 && shed == "" {
-		rt.failAttempt(b, red, "backend-error")
+		rt.failAttempt(b, red, "backend-error", trace)
+		recordHop("backend-error")
 		return false, false
 	}
 	if shed == ReasonDraining {
 		// Orderly shutdown: not a breaker-worthy failure, but the work
 		// belongs on a surviving backend. Mark unready so routing remaps
 		// before the next probe cycle confirms it.
-		b.breaker.Record(true)
+		b.breaker.RecordT(true, trace)
 		b.mu.Lock()
 		b.ready = false
 		b.mu.Unlock()
-		rt.recordFailover(b, ReasonDraining)
+		rt.recordFailover(b, ReasonDraining, trace)
+		recordHop("shed:" + ReasonDraining)
 		return false, false
 	}
 
 	// Success (or a passthrough 4xx/shed the backend chose): stamp routing
 	// metadata, chain the request span per backend, and relay.
-	b.breaker.Record(true)
+	b.breaker.RecordT(true, trace)
 	obs.H(red + ".latency_ns").Observe(float64(time.Since(start)))
 	if resp.StatusCode != http.StatusOK {
 		obs.C(red + ".passthrough").Add(1)
@@ -396,10 +510,19 @@ func (rt *Router) tryBackend(w http.ResponseWriter, b *backend, idx int, body []
 		}
 	}
 	h.Set(HeaderBackend, strconv.Itoa(idx))
+	h.Set(HeaderRouteNs, strconv.FormatInt(time.Since(start).Nanoseconds(), 10))
 	if hops > 0 {
 		h.Set(HeaderFailover, strconv.Itoa(hops))
 		obs.C("route.requests.failover").Add(1)
 	}
+	detail := "ok"
+	if shed != "" {
+		detail = "shed:" + shed
+	} else if resp.StatusCode != http.StatusOK {
+		detail = "status:" + strconv.Itoa(resp.StatusCode)
+	}
+	tr.detail = detail
+	recordHop(detail)
 	keep := len(respBody)
 	if faults.Enabled() {
 		if k := faults.RespTear(respBody); k < keep {
@@ -418,16 +541,17 @@ func (rt *Router) tryBackend(w http.ResponseWriter, b *backend, idx int, body []
 
 // failAttempt records one failed proxy attempt: breaker feedback, RED
 // metrics, and a failover ledger event naming the backend that lost the
-// request.
-func (rt *Router) failAttempt(b *backend, red, reason string) {
-	b.breaker.Record(false)
+// request (carrying the request's trace ID when it had one).
+func (rt *Router) failAttempt(b *backend, red, reason, trace string) {
+	b.breaker.RecordT(false, trace)
 	obs.C(red + ".errors").Add(1)
+	obs.C(red + ".failovers").Add(1)
 	obs.C("route.failover").Add(1)
-	rt.recordFailover(b, reason)
+	rt.recordFailover(b, reason, trace)
 }
 
 // recordFailover emits one failover ledger event.
-func (rt *Router) recordFailover(b *backend, reason string) {
+func (rt *Router) recordFailover(b *backend, reason, trace string) {
 	if !telemetry.Enabled() {
 		return
 	}
@@ -437,6 +561,7 @@ func (rt *Router) recordFailover(b *backend, reason string) {
 		Solver: RouterSolverName,
 		Core:   -1,
 		Reason: reason,
+		Trace:  trace,
 	})
 }
 

@@ -6,11 +6,13 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"synts/internal/fleet"
+	"synts/internal/obs"
 )
 
 // LoadSchema identifies a load-generator report.
@@ -49,6 +51,12 @@ type LoadOptions struct {
 	MaxInFlight int
 	// SLO is the pass/fail gate stamped into the report.
 	SLO SLO
+	// Trace injects X-Synts-Trace headers on every request and records a
+	// root client.request span per logical request (collected when the obs
+	// trace collector is enabled). Off by default; the per-hop breakdown
+	// below is computed from timing headers either way, so enabling Trace
+	// never changes the report's numbers — only whether artifacts exist.
+	Trace bool
 }
 
 // SLO is the service-level objective a run is judged against.
@@ -69,6 +77,35 @@ type LatencySummary struct {
 	P95 float64 `json:"p95_ms"`
 	P99 float64 `json:"p99_ms"`
 	Max float64 `json:"max_ms"`
+}
+
+// HopQuantile decomposes the end-to-end latency of the OK request sitting
+// at one nearest-rank quantile into per-hop components, from the timing
+// headers that request's response carried. The serial components
+// (client_queue + retry_wait + network + router + daemon_queue + solve)
+// never exceed total_ms — every component is header-derived with clamps
+// that only shrink — and obscheck -load fails the artifact if they do.
+// hedge_overlap_ms ran in parallel with the winning lane and is excluded
+// from that envelope.
+type HopQuantile struct {
+	TotalMs        float64 `json:"total_ms"`
+	ClientQueueMs  float64 `json:"client_queue_ms"`
+	RetryWaitMs    float64 `json:"retry_wait_ms"`
+	NetworkMs      float64 `json:"network_ms"`
+	RouterMs       float64 `json:"router_ms"`
+	DaemonQueueMs  float64 `json:"daemon_queue_ms"`
+	SolveMs        float64 `json:"solve_ms"`
+	HedgeOverlapMs float64 `json:"hedge_overlap_ms"`
+}
+
+// HopBreakdown is the report's tail-attribution digest: the exact OK
+// request at each latency quantile, decomposed hop by hop. Sampling the
+// real request at the rank (rather than averaging a band) keeps each row
+// internally consistent, which is what makes the envelope checkable.
+type HopBreakdown struct {
+	P50 HopQuantile `json:"p50"`
+	P95 HopQuantile `json:"p95"`
+	P99 HopQuantile `json:"p99"`
 }
 
 // LoadReport is the synts-load/v1 result of one run.
@@ -101,8 +138,12 @@ type LoadReport struct {
 	Failovers int `json:"failovers"`
 
 	Latency LatencySummary `json:"latency"`
-	SLO     SLO            `json:"slo"`
-	SLOPass bool           `json:"slo_pass"`
+	// HopBreakdown is computed over OK requests only (sheds and errors
+	// never reached a solve, so their decomposition is not comparable);
+	// all-zero when the run produced no OK request.
+	HopBreakdown HopBreakdown `json:"hop_breakdown"`
+	SLO          SLO          `json:"slo"`
+	SLOPass      bool         `json:"slo_pass"`
 }
 
 // Validate checks a report's internal consistency: the schema tag, the
@@ -149,6 +190,41 @@ func (r *LoadReport) Validate() error {
 		return fmt.Errorf("latency quantiles out of order: p50=%v p95=%v p99=%v max=%v",
 			q.P50, q.P95, q.P99, q.Max)
 	}
+	for _, hq := range []struct {
+		name string
+		q    HopQuantile
+	}{{"p50", r.HopBreakdown.P50}, {"p95", r.HopBreakdown.P95}, {"p99", r.HopBreakdown.P99}} {
+		if err := hq.q.validate(); err != nil {
+			return fmt.Errorf("hop_breakdown %s: %w", hq.name, err)
+		}
+	}
+	return nil
+}
+
+// validate enforces the envelope: the serial per-hop components of one
+// request cannot sum to more than that request took end to end. The
+// epsilon absorbs float64 ns→ms rounding only, not real overcounting.
+func (h *HopQuantile) validate() error {
+	comps := []struct {
+		name string
+		v    float64
+	}{
+		{"total_ms", h.TotalMs}, {"client_queue_ms", h.ClientQueueMs},
+		{"retry_wait_ms", h.RetryWaitMs}, {"network_ms", h.NetworkMs},
+		{"router_ms", h.RouterMs}, {"daemon_queue_ms", h.DaemonQueueMs},
+		{"solve_ms", h.SolveMs}, {"hedge_overlap_ms", h.HedgeOverlapMs},
+	}
+	for _, c := range comps {
+		if math.IsNaN(c.v) || c.v < 0 {
+			return fmt.Errorf("bad %s %v", c.name, c.v)
+		}
+	}
+	serial := h.ClientQueueMs + h.RetryWaitMs + h.NetworkMs +
+		h.RouterMs + h.DaemonQueueMs + h.SolveMs
+	if serial > h.TotalMs+1e-6 {
+		return fmt.Errorf("serial components sum to %.6fms, exceeding total %.6fms",
+			serial, h.TotalMs)
+	}
 	return nil
 }
 
@@ -194,6 +270,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 		Retries: opts.Retries,
 		Hedge:   opts.Hedge,
 		Seed:    opts.Gen.Seed,
+		Trace:   opts.Trace,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: %w", err)
@@ -208,6 +285,7 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	var mu sync.Mutex
 	var wg sync.WaitGroup
 	latencies := make([]float64, 0, n)
+	samples := make([]HopQuantile, 0, n) // OK requests only, ms
 	slots := make(chan struct{}, maxIF)
 	interval := time.Duration(float64(time.Second) / rps)
 	start := time.Now()
@@ -230,6 +308,26 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 			t0 := time.Now()
 			res := client.Do(body)
 			lat := time.Since(t0)
+			if res.Trace != "" && obs.TraceEnabled() {
+				detail := "error"
+				switch {
+				case res.Err != nil:
+					detail = "error"
+				case res.Status == http.StatusOK:
+					detail = "ok"
+				case res.Shed != "":
+					detail = "shed:" + res.Shed
+				default:
+					detail = "status:" + strconv.Itoa(res.Status)
+				}
+				obs.TraceRecord(obs.TraceSpan{
+					Trace:  res.Trace,
+					Span:   res.Trace,
+					Name:   obs.TSClientRequest,
+					Kind:   obs.HopRoot,
+					Detail: detail,
+				}, t0, t0.Add(lat))
+			}
 			mu.Lock()
 			defer mu.Unlock()
 			// Resilience bookkeeping first: retries and failovers happened
@@ -260,6 +358,24 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 				if res.Header.Get(HeaderWarm) != "" {
 					rep.WarmHits++
 				}
+				// Only the client knows the full end-to-end clock, so the
+				// client-queue residue is filled here: whatever part of the
+				// latency was neither backoff sleep nor attempt wall time.
+				bd := res.Breakdown
+				bd.ClientQueueNs = lat.Nanoseconds() - bd.RetryWaitNs - bd.AttemptsWallNs
+				if bd.ClientQueueNs < 0 {
+					bd.ClientQueueNs = 0
+				}
+				samples = append(samples, HopQuantile{
+					TotalMs:        float64(lat) / float64(time.Millisecond),
+					ClientQueueMs:  float64(bd.ClientQueueNs) / 1e6,
+					RetryWaitMs:    float64(bd.RetryWaitNs) / 1e6,
+					NetworkMs:      float64(bd.NetworkNs) / 1e6,
+					RouterMs:       float64(bd.RouterNs) / 1e6,
+					DaemonQueueMs:  float64(bd.DaemonQueueNs) / 1e6,
+					SolveMs:        float64(bd.SolveNs) / 1e6,
+					HedgeOverlapMs: float64(bd.HedgeOverlapNs) / 1e6,
+				})
 			case res.Shed != "":
 				rep.Shed++
 			case res.Status >= 400 && res.Status < 500:
@@ -284,8 +400,31 @@ func RunLoad(opts LoadOptions) (*LoadReport, error) {
 	if len(latencies) > 0 {
 		rep.Latency.Max = latencies[len(latencies)-1]
 	}
+	sort.Slice(samples, func(i, j int) bool { return samples[i].TotalMs < samples[j].TotalMs })
+	rep.HopBreakdown = HopBreakdown{
+		P50: hopQuantile(samples, 0.50),
+		P95: hopQuantile(samples, 0.95),
+		P99: hopQuantile(samples, 0.99),
+	}
 	rep.SLOPass = rep.slo()
 	return rep, nil
+}
+
+// hopQuantile picks the sample at the exact nearest-rank quantile of the
+// sorted-by-total slice: the decomposition of one real request, not an
+// average over a band.
+func hopQuantile(sorted []HopQuantile, q float64) HopQuantile {
+	if len(sorted) == 0 {
+		return HopQuantile{}
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
 }
 
 // slo evaluates the report against its SLO gate.

@@ -29,6 +29,7 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -37,6 +38,7 @@ import (
 	"synts/internal/core"
 	"synts/internal/exp"
 	"synts/internal/faults"
+	"synts/internal/fleet"
 	"synts/internal/flight"
 	"synts/internal/obs"
 	"synts/internal/pool"
@@ -77,10 +79,20 @@ type Config struct {
 }
 
 // outcome is what coalesced requests share: the solve result plus how the
-// winning caller obtained it.
+// winning caller obtained it. For a fresh solve the shard timing rides
+// along so the winning request can report queue/solve time (headers and
+// trace spans); followers and warm hits report zero — their cost is
+// waiting on the shared result, which the breakdown attributes to
+// daemon-queue.
 type outcome struct {
-	res  *solveResult
-	warm bool // served from the warm-start cache, no fresh solve
+	res   *solveResult
+	warm  bool // served from the warm-start cache, no fresh solve
+	fresh bool // this outcome's winner paid a shard solve
+	// enq/started/finished bound the fresh solve's shard queue wait
+	// (enq → started) and worker solve (started → finished).
+	enq      time.Time
+	started  time.Time
+	finished time.Time
 }
 
 // job is one queued unit of shard work. run is a closure (rather than the
@@ -91,6 +103,9 @@ type job struct {
 	res       *solveResult
 	err       error
 	done      chan struct{}
+	enq       time.Time // when dispatch enqueued the job
+	started   time.Time // when the shard worker picked it up
+	finished  time.Time // when the solve completed
 }
 
 type shard struct {
@@ -260,10 +275,12 @@ func (s *Service) runShard(sh *shard) {
 	defer s.workerWg.Done()
 	for jb := range sh.jobs {
 		obs.G(sh.depth).Set(float64(len(sh.jobs)))
+		jb.started = time.Now()
 		err := sh.worker.Run(jb.submitter, func() error {
 			jb.res = jb.run()
 			return nil
 		})
+		jb.finished = time.Now()
 		if err != nil {
 			jb.err = err
 		}
@@ -320,14 +337,14 @@ func (s *Service) solve(r *SolveRequest) *solveResult {
 // A full queue returns errQueueFull immediately — bounded queues shed,
 // they do not build unbounded latency. delay is the req-slow chaos
 // penalty, paid on the worker so it consumes real shard capacity.
-func (s *Service) dispatch(key uint64, r *SolveRequest, submitter int64, delay time.Duration) (*solveResult, error) {
+func (s *Service) dispatch(key uint64, r *SolveRequest, submitter int64, delay time.Duration) (*job, error) {
 	sh := s.shards[key%uint64(len(s.shards))]
 	jb := &job{run: func() *solveResult {
 		if delay > 0 {
 			time.Sleep(delay)
 		}
 		return s.solve(r)
-	}, submitter: submitter, done: make(chan struct{})}
+	}, submitter: submitter, done: make(chan struct{}), enq: time.Now()}
 	select {
 	case sh.jobs <- jb:
 		obs.G(sh.depth).Set(float64(len(sh.jobs)))
@@ -335,7 +352,7 @@ func (s *Service) dispatch(key uint64, r *SolveRequest, submitter int64, delay t
 		return nil, errQueueFull
 	}
 	<-jb.done
-	return jb.res, jb.err
+	return jb, jb.err
 }
 
 // handleSolve is the POST /v1/solve handler.
@@ -364,7 +381,7 @@ func (s *Service) handleSolve(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 
-	status := s.process(&sr, w)
+	status := s.process(&sr, w, fleet.ParseTraceHeaders(req.Header), start)
 	lat := float64(time.Since(start))
 	obs.H("service.latency_ns").Observe(lat)
 	obs.H("service.latency_ns.tenant." + sr.Tenant).Observe(lat)
@@ -379,15 +396,29 @@ func (s *Service) handleSolve(w http.ResponseWriter, req *http.Request) {
 }
 
 // process runs one validated request through admit → coalesce → shard →
-// solve → respond and returns the HTTP status it wrote.
-func (s *Service) process(r *SolveRequest, w http.ResponseWriter) int {
+// solve → respond and returns the HTTP status it wrote. tc is the parsed
+// incoming trace context (zero for untraced callers); every exit stamps
+// X-Synts-Server-Ns so clients can attribute latency without tracing,
+// and with the trace collector on the request/queue/solve trace spans
+// are recorded at exit.
+func (s *Service) process(r *SolveRequest, w http.ResponseWriter, tc fleet.TraceCtx, start time.Time) int {
+	trace := tc.TraceHex()
+	detail := "error"
+	var traceOut *outcome
+	if tc.Valid() && obs.TraceEnabled() {
+		defer func() {
+			s.recordTraceSpans(tc, start, time.Now(), detail, traceOut)
+		}()
+	}
 	if !s.admit() {
-		return s.shed(r, w, ShedDraining, http.StatusServiceUnavailable)
+		detail = "shed:" + ShedDraining
+		return s.shed(r, w, trace, start, ShedDraining, http.StatusServiceUnavailable)
 	}
 	defer s.inFlight.Done()
 
 	if !s.tenantAcquire(r.Tenant) {
-		return s.shed(r, w, ShedTenantCap, http.StatusTooManyRequests)
+		detail = "shed:" + ShedTenantCap
+		return s.shed(r, w, trace, start, ShedTenantCap, http.StatusTooManyRequests)
 	}
 	defer s.tenantRelease(r.Tenant)
 
@@ -401,6 +432,13 @@ func (s *Service) process(r *SolveRequest, w http.ResponseWriter) int {
 		sp.DependsOn(s.lastSpan[r.Tenant])
 		s.lastSpan[r.Tenant] = sp.ID()
 		s.spanMu.Unlock()
+		if tc.Valid() {
+			parent := ""
+			if tc.Parent != 0 {
+				parent = obs.TraceHex(tc.Parent)
+			}
+			sp.SetTrace(trace, parent, tc.Hop)
+		}
 	}
 	defer sp.End()
 
@@ -408,8 +446,10 @@ func (s *Service) process(r *SolveRequest, w http.ResponseWriter) int {
 	if faults.RequestDrop(reqDig) {
 		obs.C("service.chaos.req_drop").Add(1)
 		obs.C("service.requests.dropped").Add(1)
-		s.recordFallback(r, -1, ReasonReqDrop)
+		s.recordFallback(r, -1, ReasonReqDrop, trace)
+		detail = "shed:" + ReasonReqDrop
 		w.Header().Set(HeaderShedReason, ReasonReqDrop)
+		stampServerNs(w, start)
 		http.Error(w, errDropped.Error(), http.StatusServiceUnavailable)
 		return http.StatusServiceUnavailable
 	}
@@ -431,12 +471,15 @@ func (s *Service) process(r *SolveRequest, w http.ResponseWriter) int {
 			return &outcome{res: cached, warm: true}, nil
 		}
 		obs.C("service.warm.miss").Add(1)
-		res, err := s.dispatch(key, r, sp.ID(), delay)
+		jb, err := s.dispatch(key, r, sp.ID(), delay)
 		if err != nil {
 			return nil, err
 		}
-		s.warm.put(key, res)
-		return &outcome{res: res}, nil
+		s.warm.put(key, jb.res)
+		return &outcome{
+			res: jb.res, fresh: true,
+			enq: jb.enq, started: jb.started, finished: jb.finished,
+		}, nil
 	})
 	if kind == flight.Miss {
 		// Coalesce in-flight work only: the entry is forgotten once the
@@ -447,14 +490,16 @@ func (s *Service) process(r *SolveRequest, w http.ResponseWriter) int {
 	}
 	if err != nil {
 		if errors.Is(err, errQueueFull) {
-			return s.shed(r, w, ShedQueueFull, http.StatusTooManyRequests)
+			detail = "shed:" + ShedQueueFull
+			return s.shed(r, w, trace, start, ShedQueueFull, http.StatusTooManyRequests)
 		}
 		obs.C("service.solve.errors").Add(1)
+		stampServerNs(w, start)
 		http.Error(w, "solve failed: "+err.Error(), http.StatusInternalServerError)
 		return http.StatusInternalServerError
 	}
 
-	s.recordSolve(r, out.res)
+	s.recordSolve(r, out.res, trace)
 	resp := SolveResponse{
 		Schema: ResponseSchema,
 		ID:     DigestID(reqDig),
@@ -472,15 +517,65 @@ func (s *Service) process(r *SolveRequest, w http.ResponseWriter) int {
 		http.Error(w, err.Error(), http.StatusInternalServerError)
 		return http.StatusInternalServerError
 	}
-	if kind != flight.Miss {
+	switch {
+	case kind != flight.Miss:
+		detail = "coalesced"
 		w.Header().Set(HeaderCoalesced, "1")
+	case out.warm:
+		detail = "warm"
+	default:
+		detail = "ok"
 	}
 	if out.warm {
 		w.Header().Set(HeaderWarm, "1")
 	}
+	if kind == flight.Miss && out.fresh {
+		// Only the winner that paid the shard solve reports queue/solve
+		// time (and records the queue/solve trace spans): followers and
+		// warm hits paid a wait, not a solve.
+		traceOut = out
+		w.Header().Set(fleet.HeaderQueueNs, strconv.FormatInt(out.started.Sub(out.enq).Nanoseconds(), 10))
+		w.Header().Set(fleet.HeaderSolveNs, strconv.FormatInt(out.finished.Sub(out.started).Nanoseconds(), 10))
+	}
+	stampServerNs(w, start)
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(buf.Bytes())
 	return http.StatusOK
+}
+
+// stampServerNs reports the daemon's total handling time so far on the
+// response; always set (tracing or not), it is what lets the fleet client
+// decompose latency into network vs daemon components.
+func stampServerNs(w http.ResponseWriter, start time.Time) {
+	w.Header().Set(fleet.HeaderServerNs, strconv.FormatInt(time.Since(start).Nanoseconds(), 10))
+}
+
+// recordTraceSpans records the request's trace spans at exit: one
+// service.request span (kind = how the hop arrived), plus service.queue
+// and service.solve children when this request's winner paid a fresh
+// shard solve.
+func (s *Service) recordTraceSpans(tc fleet.TraceCtx, start, end time.Time, detail string, out *outcome) {
+	trace := tc.TraceHex()
+	parent := ""
+	if tc.Parent != 0 {
+		parent = obs.TraceHex(tc.Parent)
+	}
+	reqID := obs.TraceDerive(tc.Trace, tc.Parent, obs.TSServiceRequest, 0)
+	obs.TraceRecord(obs.TraceSpan{
+		Trace: trace, Span: obs.TraceHex(reqID), Parent: parent,
+		Name: obs.TSServiceRequest, Kind: tc.Hop, Detail: detail,
+	}, start, end)
+	if out == nil || !out.fresh {
+		return
+	}
+	obs.TraceRecord(obs.TraceSpan{
+		Trace: trace, Span: obs.TraceHex(obs.TraceDerive(tc.Trace, reqID, obs.TSServiceQueue, 0)),
+		Parent: obs.TraceHex(reqID), Name: obs.TSServiceQueue, Kind: obs.HopQueue,
+	}, out.enq, out.started)
+	obs.TraceRecord(obs.TraceSpan{
+		Trace: trace, Span: obs.TraceHex(obs.TraceDerive(tc.Trace, reqID, obs.TSServiceSolve, 0)),
+		Parent: obs.TraceHex(reqID), Name: obs.TSServiceSolve, Kind: obs.HopSolve,
+	}, out.started, out.finished)
 }
 
 // tenantAcquire reserves one of the tenant's in-flight slots; with no cap
@@ -514,8 +609,9 @@ func (s *Service) tenantRelease(tenant string) {
 
 // shed rejects one request before solving: explicit status, a reason
 // header the load generator keys on, a shed counter, and a shed ledger
-// event so overload behaviour is auditable after the fact.
-func (s *Service) shed(r *SolveRequest, w http.ResponseWriter, reason string, status int) int {
+// event (carrying the request's trace ID when it had one) so overload
+// behaviour is auditable after the fact.
+func (s *Service) shed(r *SolveRequest, w http.ResponseWriter, trace string, start time.Time, reason string, status int) int {
 	switch reason {
 	case ShedQueueFull:
 		obs.C("service.shed.queue_full").Add(1)
@@ -534,15 +630,17 @@ func (s *Service) shed(r *SolveRequest, w http.ResponseWriter, reason string, st
 			Interval: r.Seq,
 			Core:     -1,
 			Reason:   reason,
+			Trace:    trace,
 		})
 	}
 	w.Header().Set(HeaderShedReason, reason)
+	stampServerNs(w, start)
 	http.Error(w, "shed: "+reason, status)
 	return status
 }
 
 // recordFallback emits one fallback ledger event for a request.
-func (s *Service) recordFallback(r *SolveRequest, coreIdx int, reason string) {
+func (s *Service) recordFallback(r *SolveRequest, coreIdx int, reason, trace string) {
 	if !telemetry.Enabled() {
 		return
 	}
@@ -555,6 +653,7 @@ func (s *Service) recordFallback(r *SolveRequest, coreIdx int, reason string) {
 		Interval: r.Seq,
 		Core:     coreIdx,
 		Reason:   reason,
+		Trace:    trace,
 	})
 }
 
@@ -566,7 +665,10 @@ func (s *Service) recordFallback(r *SolveRequest, coreIdx int, reason string) {
 // shard count and the canonical sort makes the bytes identical too.
 // Coalesced and warm-started requests emit the same events a fresh solve
 // would: the ledger records intent served, not solver invocations.
-func (s *Service) recordSolve(r *SolveRequest, res *solveResult) {
+// trace (a pure function of the request body) rides on the fallback
+// events only — the traceable kinds — keeping the rest of the multiset
+// identical with tracing on or off for distinct requests.
+func (s *Service) recordSolve(r *SolveRequest, res *solveResult, trace string) {
 	if !telemetry.Enabled() {
 		return
 	}
@@ -605,7 +707,7 @@ func (s *Service) recordSolve(r *SolveRequest, res *solveResult) {
 		e.IntervalCycles = cc.N * cc.CPIBase
 		telemetry.Record(e)
 		if cr.Fallback != "" {
-			s.recordFallback(r, i, cr.Fallback)
+			s.recordFallback(r, i, cr.Fallback, trace)
 		}
 	}
 	e := base

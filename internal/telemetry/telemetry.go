@@ -128,6 +128,12 @@ type Event struct {
 	// divergence) or the admission rejection class on shed events
 	// (queue-full, draining); empty on every other kind.
 	Reason string `json:"reason,omitempty"`
+	// Trace is the 16-hex distributed-trace ID of the request that caused
+	// the event, linking the decision ledger to synts-trace/v1 artifacts
+	// (`synts trace`). Only fleet-path kinds (shed, fallback, breaker,
+	// failover) may carry it; always empty for batch runs and whenever
+	// the request arrived without trace context.
+	Trace string `json:"trace,omitempty"`
 }
 
 // maxEvents bounds the ledger so a pathological loop cannot grow it
@@ -538,6 +544,22 @@ func (e *Event) Validate() error {
 	}
 	if (e.Kind == KindShed || e.Kind == KindBreaker || e.Kind == KindFailover) && e.Core != -1 {
 		return fmt.Errorf("%s event: core %d, want -1", e.Kind, e.Core)
+	}
+	if e.Trace != "" {
+		traceable := e.Kind == KindShed || e.Kind == KindFallback ||
+			e.Kind == KindBreaker || e.Kind == KindFailover
+		if !traceable {
+			return fmt.Errorf("%s event: unexpected trace %q", e.Kind, e.Trace)
+		}
+		if len(e.Trace) != 16 {
+			return fmt.Errorf("%s event: trace %q is not a 16-hex id", e.Kind, e.Trace)
+		}
+		for i := 0; i < len(e.Trace); i++ {
+			c := e.Trace[i]
+			if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+				return fmt.Errorf("%s event: trace %q is not a 16-hex id", e.Kind, e.Trace)
+			}
+		}
 	}
 	if e.Interval < 0 {
 		return fmt.Errorf("%s event: negative interval %d", e.Kind, e.Interval)
